@@ -1,0 +1,161 @@
+// Command metaleak regenerates the paper's tables and figures on the
+// simulated secure processors.
+//
+// Usage:
+//
+//	metaleak list
+//	metaleak run <id>... | all   [-full] [-seed N] [-json]
+//	metaleak report              [-full] [-seed N]
+//	metaleak trace jpeg|rsa      [-csv]
+//
+// Experiment IDs follow the paper: table1, fig6, fig7, fig8, fig11,
+// fig12, fig14, fig15, fig15c, fig16, fig17, fig18; the design-space
+// ablations ablctr, abltree, ablmeta, ablminor, ablnoise, ablsec; and the
+// §IX defence evaluations defiso, defrand, defladder.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"metaleak/internal/experiments"
+	"metaleak/internal/jpeg"
+	"metaleak/internal/machine"
+	"metaleak/internal/mpi"
+	"metaleak/internal/trace"
+	"metaleak/internal/victim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "metaleak:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return nil
+	}
+	switch args[0] {
+	case "list":
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return nil
+	case "run":
+		fs := flag.NewFlagSet("run", flag.ContinueOnError)
+		full := fs.Bool("full", false, "paper-scale sample counts (slow)")
+		seed := fs.Uint64("seed", 0, "experiment seed")
+		asJSON := fs.Bool("json", false, "emit results as JSON")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		ids := fs.Args()
+		if len(ids) == 0 {
+			usage()
+			return fmt.Errorf("run: no experiment ids")
+		}
+		if len(ids) == 1 && ids[0] == "all" {
+			ids = experiments.IDs()
+		}
+		opts := experiments.Default()
+		if *full {
+			opts = experiments.Full()
+		}
+		opts.Seed = *seed
+		for _, id := range ids {
+			fn, ok := experiments.Registry[id]
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (try 'metaleak list')", id)
+			}
+			start := time.Now()
+			res, err := fn(opts)
+			if err != nil {
+				return fmt.Errorf("%s: %w", id, err)
+			}
+			if *asJSON {
+				enc := json.NewEncoder(os.Stdout)
+				enc.SetIndent("", "  ")
+				if err := enc.Encode(res); err != nil {
+					return err
+				}
+			} else {
+				fmt.Print(res)
+				fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+			}
+		}
+		return nil
+	case "report":
+		fs := flag.NewFlagSet("report", flag.ContinueOnError)
+		full := fs.Bool("full", false, "paper-scale sample counts (slow)")
+		seed := fs.Uint64("seed", 0, "experiment seed")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		opts := experiments.Default()
+		if *full {
+			opts = experiments.Full()
+		}
+		opts.Seed = *seed
+		md, err := experiments.Report(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Print(md)
+		return nil
+	case "trace":
+		fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+		csv := fs.Bool("csv", false, "dump the retained events as CSV")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		if fs.NArg() != 1 {
+			return fmt.Errorf("trace: need a victim (jpeg or rsa)")
+		}
+		return runTrace(fs.Arg(0), *csv)
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+// runTrace executes one victim on the SCT machine with an access recorder
+// attached and prints the per-path summary (optionally the raw CSV).
+func runTrace(kind string, csv bool) error {
+	dp := machine.ConfigSCT()
+	dp.SecurePages = 1 << 16
+	sys := machine.NewSystem(dp)
+	rec := trace.New(4096)
+	rec.Attach(sys.System)
+	proc := victim.NewProc(sys.System, 0)
+	switch kind {
+	case "jpeg":
+		jv := victim.NewJPEGVictim(proc)
+		im, err := jpeg.Synthetic(jpeg.PatternCircle, 32, 32)
+		if err != nil {
+			return err
+		}
+		if _, _, err := jv.Encode(im, nil); err != nil {
+			return err
+		}
+	case "rsa":
+		rv := victim.NewRSAVictim(proc)
+		rv.ModExp(mpi.New(3), mpi.FromHex("deadbeefcafef00d"), mpi.FromHex("ffffffffffffffc5"), nil)
+	default:
+		return fmt.Errorf("trace: unknown victim %q (jpeg or rsa)", kind)
+	}
+	fmt.Print(rec.Summary())
+	if csv {
+		return rec.WriteCSV(os.Stdout)
+	}
+	return nil
+}
+
+func usage() {
+	fmt.Println("usage: metaleak list | run <id>...|all [-full] [-seed N] [-json] | report [-full] | trace jpeg|rsa [-csv]")
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs fn with stdout redirected to a pipe and returns the output.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	return string(buf[:n]), runErr
+}
+
+func TestListCommand(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"list"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"fig6", "fig18", "defiso", "ablnoise"} {
+		if !strings.Contains(out, id) {
+			t.Fatalf("list missing %s:\n%s", id, out)
+		}
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"run", "table1"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "SCT") || !strings.Contains(out, "SGX") {
+		t.Fatalf("table1 output:\n%s", out)
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"run", "-json", "table1"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"ID": "table1"`) {
+		t.Fatalf("json output:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run([]string{"run", "nosuch"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if err := run([]string{"run"}); err == nil {
+		t.Fatal("missing ids accepted")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+	if err := run([]string{"trace", "nosuch"}); err == nil {
+		t.Fatal("unknown trace victim accepted")
+	}
+	if err := run([]string{"trace"}); err == nil {
+		t.Fatal("missing trace victim accepted")
+	}
+}
+
+func TestTraceCommand(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"trace", "rsa"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "events recorded") {
+		t.Fatalf("trace output:\n%s", out)
+	}
+}

@@ -1,0 +1,159 @@
+// Command mktrace generates victim fixtures for offline analysis: the
+// synthetic test images (as PGM), deterministic RSA key material from the
+// mpi substrate, and ground-truth leakage traces (coefficient activity for
+// the JPEG victim, square/multiply sequences for the RSA victim) as the
+// oracle against which attack traces are scored.
+//
+// Usage:
+//
+//	mktrace image <pattern> <size>        # PGM to stdout
+//	mktrace jpeg-file <pattern> <size>    # real baseline .jpg to stdout
+//	mktrace jpeg-color <pattern> <size>   # YCbCr 4:4:4 color .jpg to stdout
+//	mktrace key <bits> [seed]             # RSA p, q, d for e=65537
+//	mktrace jpeg-oracle <pattern> <size>  # 0/1 per AC coefficient
+//	mktrace rsa-oracle <expbits> [seed]   # S/M operation string
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+
+	"metaleak/internal/arch"
+	"metaleak/internal/jpeg"
+	"metaleak/internal/mpi"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mktrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: mktrace image|jpeg-file|jpeg-color|key|jpeg-oracle|rsa-oracle ...")
+	}
+	switch args[0] {
+	case "image":
+		im, err := imageArg(args[1:])
+		if err != nil {
+			return err
+		}
+		return writePGM(im)
+	case "jpeg-file":
+		return encodeJPEGFile(args[1:])
+	case "jpeg-color":
+		if len(args) < 3 {
+			return fmt.Errorf("need <pattern> <size>")
+		}
+		size, err := strconv.Atoi(args[2])
+		if err != nil {
+			return err
+		}
+		im, err := jpeg.SyntheticRGB(jpeg.SyntheticKind(args[1]), size, size)
+		if err != nil {
+			return err
+		}
+		return jpeg.EncodeColorFile(os.Stdout, im, 75)
+	case "jpeg-oracle":
+		im, err := imageArg(args[1:])
+		if err != nil {
+			return err
+		}
+		enc := &jpeg.Encoder{Quality: 75}
+		res, err := enc.Encode(im)
+		if err != nil {
+			return err
+		}
+		for _, blk := range res.Blocks {
+			for k := 1; k < 64; k++ {
+				if blk[jpeg.NaturalOrder(k)] == 0 {
+					fmt.Print("0")
+				} else {
+					fmt.Print("1")
+				}
+			}
+			fmt.Println()
+		}
+		return nil
+	case "key":
+		bits, seed, err := intSeedArgs(args[1:])
+		if err != nil {
+			return err
+		}
+		rng := arch.NewRNG(seed)
+		p := mpi.RandomPrime(rng, bits)
+		q := mpi.RandomPrime(rng, bits)
+		e := mpi.New(65537)
+		phi := p.Sub(mpi.New(1)).Mul(q.Sub(mpi.New(1)))
+		d, ok := mpi.ModInverse(e, phi, nil)
+		if !ok {
+			return fmt.Errorf("no inverse for e; try another seed")
+		}
+		fmt.Printf("p = %s\nq = %s\nn = %s\ne = %s\nd = %s\n", p, q, p.Mul(q), e, d)
+		return nil
+	case "rsa-oracle":
+		bits, seed, err := intSeedArgs(args[1:])
+		if err != nil {
+			return err
+		}
+		rng := arch.NewRNG(seed)
+		exp := mpi.Random(rng, bits)
+		var trace []byte
+		mpi.ModExp(mpi.New(3), exp, mpi.Random(rng, 2*bits).Add(mpi.New(1)), &mpi.Hooks{
+			Square:   func() { trace = append(trace, 'S') },
+			Multiply: func() { trace = append(trace, 'M') },
+		})
+		fmt.Printf("exponent = %s\ntrace    = %s\n", exp, trace)
+		return nil
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func imageArg(args []string) (*jpeg.Image, error) {
+	if len(args) < 2 {
+		return nil, fmt.Errorf("need <pattern> <size>")
+	}
+	size, err := strconv.Atoi(args[1])
+	if err != nil {
+		return nil, err
+	}
+	return jpeg.Synthetic(jpeg.SyntheticKind(args[0]), size, size)
+}
+
+func intSeedArgs(args []string) (int, uint64, error) {
+	if len(args) < 1 {
+		return 0, 0, fmt.Errorf("need <bits> [seed]")
+	}
+	bits, err := strconv.Atoi(args[0])
+	if err != nil {
+		return 0, 0, err
+	}
+	seed := uint64(1)
+	if len(args) > 1 {
+		s, err := strconv.ParseUint(args[1], 10, 64)
+		if err != nil {
+			return 0, 0, err
+		}
+		seed = s
+	}
+	return bits, seed, nil
+}
+
+func writePGM(im *jpeg.Image) error {
+	return jpeg.WritePGM(os.Stdout, im)
+}
+
+// encodeJPEGFile writes a real .jpg for the pattern (used by the
+// "jpeg-file" subcommand).
+func encodeJPEGFile(args []string) error {
+	im, err := imageArg(args)
+	if err != nil {
+		return err
+	}
+	enc := &jpeg.Encoder{Quality: 75}
+	return enc.EncodeFile(os.Stdout, im)
+}

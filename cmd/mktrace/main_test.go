@@ -1,0 +1,89 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 1<<22)
+	n, _ := r.Read(buf)
+	return string(buf[:n]), runErr
+}
+
+func TestImagePGM(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"image", "circle", "16"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "P5\n16 16\n255\n") {
+		t.Fatalf("pgm header: %q", out[:20])
+	}
+}
+
+func TestJPEGFileMagic(t *testing.T) {
+	for _, sub := range []string{"jpeg-file", "jpeg-color"} {
+		out, err := capture(t, func() error { return run([]string{sub, "stripes", "16"}) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) < 4 || out[0] != 0xff || out[1] != 0xd8 {
+			t.Fatalf("%s: not a JPEG", sub)
+		}
+	}
+}
+
+func TestKeyGeneration(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"key", "48", "2"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"p =", "q =", "n =", "d ="} {
+		if !strings.Contains(out, field) {
+			t.Fatalf("key output missing %s:\n%s", field, out)
+		}
+	}
+}
+
+func TestOracles(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"jpeg-oracle", "circle", "16"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out, "\n") != 4 { // four 8x8 blocks
+		t.Fatalf("jpeg oracle lines:\n%s", out)
+	}
+	out, err = capture(t, func() error { return run([]string{"rsa-oracle", "16", "3"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "trace") || !strings.Contains(out, "S") {
+		t.Fatalf("rsa oracle:\n%s", out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"bogus"},
+		{"image"},
+		{"image", "nope", "8"},
+		{"key"},
+		{"key", "x"},
+	} {
+		if err := run(args); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+// Covert channel demo: a trojan and a spy on different cores, sharing no
+// memory, exchange a message through security metadata alone — first via
+// shared integrity tree node caching state (MetaLeak-T, mEvict+mReload),
+// then via tree counter modulation (MetaLeak-C, mPreset+mOverflow).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"metaleak"
+)
+
+const message = "META"
+
+func main() {
+	runT()
+	runC()
+}
+
+func runT() {
+	fmt.Println("== MetaLeak-T: bits through tree-node caching state ==")
+	sys := metaleak.NewSystem(metaleak.ConfigSCT())
+	trojan := metaleak.NewAttacker(sys, 0, false)
+	spy := metaleak.NewAttacker(sys, 1, false)
+	ch, err := metaleak.NewCovertT(trojan, spy, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	start := sys.Now()
+	decoded := ch.SendString(message)
+	fmt.Printf("sent %q, spy decoded %q (accuracy %.1f%%, %.0f cycles/bit)\n\n",
+		message, decoded, 100*ch.Accuracy(), ch.CyclesPerBit(sys.Now()-start))
+}
+
+func runC() {
+	fmt.Println("== MetaLeak-C: 7-bit symbols through counter overflow ==")
+	dp := metaleak.ConfigSCT()
+	dp.FastCrypto = true // many saturating writes per symbol
+	sys := metaleak.NewSystem(dp)
+	trojan := metaleak.NewAttacker(sys, 0, false)
+	spy := metaleak.NewAttacker(sys, 1, false)
+	ch, err := metaleak.NewCovertC(trojan, spy, metaleak.PageID(1<<13), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	decoded, err := ch.SendBytes([]byte(message))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sent %q, spy decoded %q (accuracy %.1f%%)\n",
+		message, string(decoded), 100*ch.Accuracy())
+	fmt.Printf("probe writes per symbol (m): %v\n", ch.Trace)
+}

@@ -1,0 +1,92 @@
+// Defenses demo (§IX): the same attack, against three machines —
+// undefended, with per-domain integrity trees, and with a
+// MIRAGE-randomized metadata cache. Shows what each defence stops, what
+// it costs, and what survives.
+package main
+
+import (
+	"fmt"
+
+	"metaleak"
+)
+
+func main() {
+	fmt.Println("== 1. undefended SCT: MetaLeak-T works ==")
+	{
+		sys := metaleak.NewSystem(metaleak.ConfigSCT())
+		victimPage := sys.AllocPage(1)
+		attacker := metaleak.NewAttacker(sys, 0, false)
+		m, err := attacker.NewMonitor(victimPage, 0)
+		if err != nil {
+			fmt.Println("unexpected:", err)
+			return
+		}
+		m.Calibrate(8)
+		correct := 0
+		for i := 0; i < 20; i++ {
+			m.Evict()
+			if i%2 == 0 {
+				sys.Flush(1, victimPage.Block(0))
+				sys.Touch(1, victimPage.Block(0))
+			}
+			got, _ := m.Reload()
+			if got == (i%2 == 0) {
+				correct++
+			}
+		}
+		fmt.Printf("monitor on the victim's tree leaf: %d/20 rounds correct\n\n", correct)
+	}
+
+	fmt.Println("== 2. per-domain trees (§IX-C): construction fails ==")
+	{
+		dp := metaleak.ConfigSCT()
+		dp.SecurePages = 1 << 20
+		dp.IsolatedDomains = 4
+		sys := metaleak.NewSystem(dp)
+		victimPage := sys.AllocPage(1)
+		attacker := metaleak.NewAttacker(sys, 0, true) // even privileged
+		_, err := attacker.NewMonitor(victimPage, 0)
+		fmt.Printf("monitor construction: %v\n", err)
+		// The defended machine still computes and still detects tampering.
+		p := sys.AllocPage(2)
+		sys.WriteThrough(2, p.Block(0), [64]byte{42})
+		got, _ := sys.Read(2, p.Block(0))
+		fmt.Printf("honest execution intact: read back %d\n\n", got[0])
+	}
+
+	fmt.Println("== 3. MIRAGE metadata cache (§IX-B): slowed, not stopped ==")
+	{
+		dp := metaleak.ConfigSCT()
+		dp.SecurePages = 1 << 16
+		dp.MetaKB = 16
+		dp.RandomizedMeta = true
+		dp.FastCrypto = true
+		sys := metaleak.NewSystem(dp)
+		victimPage := sys.AllocPage(1)
+		attacker := metaleak.NewAttacker(sys, 0, false)
+		if _, err := attacker.NewMonitor(victimPage, 0); err != nil {
+			fmt.Printf("conflict-based mEvict: %v\n", err)
+		}
+		vm, err := attacker.NewVolumeMonitor(victimPage, 0, 800)
+		if err != nil {
+			fmt.Println("unexpected:", err)
+			return
+		}
+		vm.Calibrate(8)
+		correct := 0
+		start := sys.Now()
+		for i := 0; i < 20; i++ {
+			vm.Evict()
+			if i%2 == 0 {
+				sys.Flush(1, victimPage.Block(0))
+				sys.Touch(1, victimPage.Block(0))
+			}
+			got, _ := vm.Reload()
+			if got == (i%2 == 0) {
+				correct++
+			}
+		}
+		fmt.Printf("volume-based mEvict (800 accesses/round): %d/20 rounds correct at %d cycles/round\n",
+			correct, (sys.Now()-start)/20)
+	}
+}

@@ -1,0 +1,71 @@
+// Image leak demo (the §VIII-A1 case study): a victim compresses an image
+// with the libjpeg-style encoder inside the protected region; an attacker
+// on another core — with no access to the image or the victim's memory —
+// reconstructs it by watching two shared integrity tree nodes with
+// mEvict+mReload.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"metaleak"
+)
+
+// loadImage returns the victim's secret image: a PGM file given as the
+// first argument (e.g. from cmd/mktrace), or the built-in "ML" pattern.
+func loadImage() (*metaleak.Image, error) {
+	if len(os.Args) > 1 {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return metaleak.ReadPGM(f)
+	}
+	return metaleak.Synthetic("text", 48, 48)
+}
+
+func main() {
+	sys := metaleak.NewSystem(metaleak.ConfigSCT())
+
+	// Attacker: place the victim's two variable pages (page massaging),
+	// then build the dual monitor over their leaf tree nodes.
+	attacker := metaleak.NewAttacker(sys, 0, false)
+	frames, err := attacker.PlaceVictimPages(1, 2, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dm, err := attacker.NewDualMonitor(frames[0], frames[1], 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Victim: compile-time pinned r and nbits pages, real JPEG encoding.
+	proc := metaleak.NewProc(sys, 1)
+	jv := &metaleak.JPEGVictim{Proc: proc, RPage: frames[0], NbitsPage: frames[1]}
+
+	im, err := loadImage()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("victim's secret image:")
+	fmt.Println(im.ASCII(48))
+
+	var recovered []bool
+	iv := &metaleak.Interleave{
+		Before: dm.Evict,
+		After:  func() { recovered = append(recovered, !dm.Classify()) },
+	}
+	_, oracle, err := jv.Encode(im, iv)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rec := metaleak.ImageFromTrace(recovered, oracle.W, oracle.H, oracle.Quality)
+	fmt.Println("attacker's reconstruction (from metadata timing alone):")
+	fmt.Println(rec.ASCII(48))
+	fmt.Printf("stealing accuracy vs oracle: %.1f%% over %d coefficients\n",
+		100*metaleak.TraceAccuracy(recovered, oracle.NonZero), len(oracle.NonZero))
+}

@@ -1,0 +1,65 @@
+// Quickstart: build a simulated secure processor (split-counter tree
+// design), watch the four metadata access paths of Fig. 5 appear in read
+// latencies, and see the integrity machinery genuinely detect tampering.
+package main
+
+import (
+	"fmt"
+
+	"metaleak"
+)
+
+func main() {
+	sys := metaleak.NewSystem(metaleak.ConfigSCT())
+	page := sys.AllocPage(0)
+	b := page.Block(0)
+
+	fmt.Println("-- the four access paths (Fig. 5) --")
+	_, res := sys.Read(0, b)
+	fmt.Printf("cold read:            %4d cycles (path %d, %d tree levels loaded)\n",
+		res.Latency, res.Report.Path, res.Report.TreeLevelsLoaded)
+	_, res = sys.Read(0, b)
+	fmt.Printf("hot read:             %4d cycles (path %d)\n", res.Latency, res.Report.Path)
+	sys.Flush(0, b)
+	_, res = sys.Read(0, b)
+	fmt.Printf("counter cached:       %4d cycles (path %d)\n", res.Latency, res.Report.Path)
+	neighbour := sys.AllocPage(0)
+	_, res = sys.Read(0, neighbour.Block(0))
+	fmt.Printf("tree leaf cached:     %4d cycles (path %d)\n", res.Latency, res.Report.Path)
+
+	fmt.Println("\n-- encryption is real --")
+	var secret [64]byte
+	copy(secret[:], "attack at dawn")
+	sys.Write(0, b, secret)
+	sys.Flush(0, b) // ciphertext now in (simulated) DRAM
+	got, _ := sys.Read(0, b)
+	fmt.Printf("round trip: %q\n", string(got[:14]))
+
+	fmt.Println("\n-- tampering is really detected --")
+	for _, tamper := range []struct {
+		name string
+		do   func()
+	}{
+		{"bit flip (spoofing)", func() { sys.Ctrl.TamperFlipBit(b, 100) }},
+		{"stale data (replay)", func() {
+			snap := sys.Ctrl.Snapshot(b)
+			sys.Write(0, b, [64]byte{9})
+			sys.Flush(0, b)
+			sys.Ctrl.TamperReplay(snap)
+		}},
+	} {
+		before := sys.TamperDetections()
+		tamper.do()
+		sys.Flush(0, b)
+		sys.Read(0, b)
+		fmt.Printf("%-22s detected=%v\n", tamper.name+":", sys.TamperDetections() > before)
+		// Restore a clean block for the next round.
+		sys.Write(0, b, secret)
+		sys.Flush(0, b)
+		sys.Read(0, b)
+	}
+
+	st := sys.Ctrl.Stats()
+	fmt.Printf("\ncontroller: %d reads, %d writes, %d counter misses, %d tree node loads\n",
+		st.Reads, st.Writes, st.CounterMisses, st.TreeNodeLoads)
+}

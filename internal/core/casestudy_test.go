@@ -1,0 +1,132 @@
+package core
+
+import (
+	"testing"
+
+	"metaleak/internal/jpeg"
+	"metaleak/internal/mpi"
+	"metaleak/internal/reconstruct"
+	"metaleak/internal/victim"
+)
+
+func TestEndToEndJPEGLeakT(t *testing.T) {
+	r := newRig(t, 40, 0)
+	attacker := NewAttacker(r.sys, r.mc, 0, false)
+	// Page massaging: the attacker places the victim's two variable pages.
+	frames, err := attacker.PlaceVictimPages(1, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vp := victim.NewProc(r.sys, 1)
+	jv := &victim.JPEGVictim{Proc: vp, RPage: frames[0], NbitsPage: frames[1]}
+
+	dm, err := attacker.NewDualMonitor(jv.RPage, jv.NbitsPage, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	im, _ := jpeg.Synthetic(jpeg.PatternCircle, 32, 32)
+	var recovered []bool
+	iv := &victim.Interleave{
+		Before: dm.Evict,
+		After: func() {
+			isR := dm.Classify() // MonA watches RPage (zero coefficient)
+			recovered = append(recovered, !isR)
+		},
+	}
+	_, oracle, err := jv.Encode(im, iv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != len(oracle.NonZero) {
+		t.Fatalf("trace length %d vs oracle %d", len(recovered), len(oracle.NonZero))
+	}
+	acc := reconstruct.TraceAccuracy(recovered, oracle.NonZero)
+	if acc < 0.93 {
+		t.Fatalf("stealing accuracy %.3f < 0.93", acc)
+	}
+	t.Logf("jpeg MetaLeak-T stealing accuracy: %.3f over %d coefficients", acc, len(oracle.NonZero))
+
+	// The reconstruction pipeline must produce an image resembling the
+	// oracle's reconstruction.
+	rec := reconstruct.ImageFromTrace(recovered, oracle.W, oracle.H, oracle.Quality)
+	orc := reconstruct.OracleImage(oracle)
+	if sim := reconstruct.PixelSimilarity(rec, orc); sim < 0.9 {
+		t.Fatalf("reconstruction similarity to oracle %.3f < 0.9", sim)
+	}
+}
+
+func TestEndToEndRSALeakT(t *testing.T) {
+	r := newRig(t, 41, 0)
+	attacker := NewAttacker(r.sys, r.mc, 0, false)
+	frames, err := attacker.PlaceVictimPages(1, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vp := victim.NewProc(r.sys, 1)
+	rv := &victim.RSAVictim{Proc: vp, SqrPage: frames[0], MulPage: frames[1]}
+
+	dm, err := attacker.NewDualMonitor(rv.SqrPage, rv.MulPage, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	exp := mpi.FromHex("d3b2a9c1e4f5")
+	var ops []victim.Op
+	iv := &victim.Interleave{
+		Before: dm.Evict,
+		After: func() {
+			if dm.Classify() {
+				ops = append(ops, victim.OpSquare)
+			} else {
+				ops = append(ops, victim.OpMultiply)
+			}
+		},
+	}
+	_, oracleOps := rv.ModExp(mpi.New(3), exp, mpi.FromHex("f123456789abcdef0123456789abcdef"), iv)
+	if acc := reconstruct.OpAccuracy(ops, oracleOps); acc < 0.95 {
+		t.Fatalf("op trace accuracy %.3f < 0.95", acc)
+	}
+	bits := reconstruct.ExponentFromOps(ops)
+	want := reconstruct.BitsOfExponent(exp)
+	if acc := reconstruct.BitAccuracy(bits, want); acc < 0.95 {
+		t.Fatalf("exponent recovery %.3f < 0.95", acc)
+	}
+}
+
+func TestEndToEndKeyLoadLeakT(t *testing.T) {
+	r := newRig(t, 42, 0)
+	attacker := NewAttacker(r.sys, r.mc, 0, true)
+	frames, err := attacker.PlaceVictimPages(1, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vp := victim.NewProc(r.sys, 1)
+	kv := &victim.KeyLoadVictim{Proc: vp, ShiftPage: frames[0], SubPage: frames[1]}
+
+	dm, err := attacker.NewDualMonitor(kv.ShiftPage, kv.SubPage, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := mpi.FromHex("e35c3f1f7bd5a5cd")
+	q := mpi.FromHex("c5a1b2fcc9b5c6e5")
+	var ops []victim.Op
+	iv := &victim.Interleave{
+		Before: dm.Evict,
+		After: func() {
+			if dm.Classify() {
+				ops = append(ops, victim.OpShift)
+			} else {
+				ops = append(ops, victim.OpSub)
+			}
+		},
+	}
+	_, oracleOps, err := kv.LoadKey(p, q, mpi.New(65537), iv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := reconstruct.OpAccuracy(ops, oracleOps); acc < 0.95 {
+		t.Fatalf("shift/sub trace accuracy %.3f < 0.95", acc)
+	}
+}

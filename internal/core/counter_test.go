@@ -1,0 +1,221 @@
+package core
+
+import (
+	"testing"
+
+	"metaleak/internal/arch"
+)
+
+func TestCounterMonitorBumpIncrementsMinor(t *testing.T) {
+	r := newRig(t, 20, 0)
+	a := NewAttacker(r.sys, r.mc, 0, false)
+	anchor := arch.PageID(100)
+	cm, err := a.NewCounterMonitor(anchor, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := cm.MinorValue()
+	for i := 0; i < 5; i++ {
+		cm.Bump()
+	}
+	after := cm.MinorValue()
+	if after != before+5 {
+		t.Fatalf("5 bumps moved minor from %d to %d", before, after)
+	}
+}
+
+func TestCounterMonitorCalibrateFindsOverflowGap(t *testing.T) {
+	r := newRig(t, 21, 0)
+	a := NewAttacker(r.sys, r.mc, 0, false)
+	cm, err := a.NewCounterMonitor(arch.PageID(200), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	normal, overflow := cm.Calibrate()
+	if overflow < 2*normal {
+		t.Fatalf("overflow bump (%d) not well separated from normal (%d)", overflow, normal)
+	}
+	// Post-calibration state: minor just reset by an overflow.
+	if v := cm.MinorValue(); v != 1 {
+		t.Fatalf("post-calibration minor = %d, want 1", v)
+	}
+}
+
+func TestCounterMonitorPresetAndProbe(t *testing.T) {
+	r := newRig(t, 22, 0)
+	a := NewAttacker(r.sys, r.mc, 0, false)
+	cm, err := a.NewCounterMonitor(arch.PageID(300), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm.Calibrate()
+	max := cm.MinorMax() // 127
+	cm.Preset(max - 1)   // one short of saturation
+	if v := cm.MinorValue(); v != max-1 {
+		t.Fatalf("preset left minor at %d want %d", v, max-1)
+	}
+	// Without a victim write: saturating takes 1 bump, overflow on the 2nd.
+	m, err := cm.ProbeOverflow(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 2 {
+		t.Fatalf("probe needed %d bumps, want 2", m)
+	}
+	if v := cm.MinorValue(); v != 1 {
+		t.Fatalf("post-probe minor = %d, want 1", v)
+	}
+}
+
+func TestCounterMonitorDetectsVictimWriteAtLevelTwo(t *testing.T) {
+	// The libjpeg MetaLeak-C setup (§VIII-A2): the attacker shares a minor
+	// at the 2nd tree level with the victim's write target.
+	r := newRig(t, 23, 0)
+	victimCore := 1
+	vp := r.sys.AllocPage(victimCore)
+	vb := vp.Block(0)
+	victimWrite := func() {
+		r.sys.WriteThrough(victimCore, vb, [arch.BlockSize]byte{0xaa})
+	}
+
+	a := NewAttacker(r.sys, r.mc, 0, false)
+	cm, err := a.NewCounterMonitor(vp, 1, vb) // child = victim's L1 node
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm.Calibrate()
+	max := cm.MinorMax()
+
+	detect := func(expectWrite bool) {
+		t.Helper()
+		cm.Preset(max - 1)
+		if expectWrite {
+			victimWrite()
+		}
+		cm.PropagateVictim(vb)
+		m, err := cm.ProbeOverflow(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wrote := m == 1
+		if wrote != expectWrite {
+			t.Fatalf("m=%d: inferred write=%v want %v", m, wrote, expectWrite)
+		}
+	}
+	detect(true)
+	detect(false)
+	detect(true)
+	detect(true)
+	detect(false)
+}
+
+func TestCounterMonitorSymbolRoundTrip(t *testing.T) {
+	// Trojan encodes a symbol as s bumps; spy decodes via m additional
+	// bumps to overflow: s = max - m.
+	r := newRig(t, 24, 0)
+	anchor := arch.PageID(400)
+	spy := NewAttacker(r.sys, r.mc, 0, false)
+	trojan := NewAttacker(r.sys, r.mc, 2, false)
+	spyMon, err := spy.NewCounterMonitor(anchor, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trojanMon, err := trojan.NewCounterMonitor(anchor, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spyMon.Parent != trojanMon.Parent || spyMon.Slot != trojanMon.Slot {
+		t.Fatal("spy and trojan monitors target different minors")
+	}
+	spyMon.Calibrate() // state: 1
+	max := int(spyMon.MinorMax())
+	for _, s := range []int{5, 0, 100, 126, 63} {
+		for i := 0; i < s; i++ {
+			trojanMon.Bump()
+		}
+		m, err := spyMon.ProbeOverflow(max + 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := max - m; got != s {
+			t.Fatalf("decoded %d want %d (m=%d)", got, s, m)
+		}
+	}
+}
+
+func TestLeafCounterMonitorFig8Benchmark(t *testing.T) {
+	// childLevel == -1: the Fig. 8 microbenchmark target — the leaf minor
+	// versioning the attacker's own counter block. Overflow re-hashes only
+	// the leaf subtree (1 node + 32 counter blocks).
+	r := newRig(t, 25, 0)
+	a := NewAttacker(r.sys, r.mc, 0, false)
+	cm, err := a.NewCounterMonitor(arch.PageID(800), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cm.IsLeafLevel() {
+		t.Fatal("not a leaf-level monitor")
+	}
+	before := cm.MinorValue()
+	cm.Bump()
+	if cm.MinorValue() != before+1 {
+		t.Fatal("leaf bump did not increment the L0 minor")
+	}
+	normal, overflow := cm.Calibrate()
+	if overflow < normal+500 {
+		t.Fatalf("leaf overflow band (%d) not separated from normal (%d)", overflow, normal)
+	}
+	// The leaf subtree is ~33 blocks; the probe delay should be in the
+	// Fig. 8 ~2000-cycle class, far below the L1-overflow class (~12000).
+	if gap := overflow - normal; gap > 8000 {
+		t.Fatalf("leaf overflow gap %d looks like a deeper subtree", gap)
+	}
+}
+
+func TestCountVictimWritesGeneralized(t *testing.T) {
+	// §VI-B: "generalized to infer up to x victim writes by presetting the
+	// counter to 2^n - x + 1".
+	r := newRig(t, 26, 0)
+	victimCore := 1
+	vp := r.sys.AllocPage(victimCore)
+	a := NewAttacker(r.sys, r.mc, 0, false)
+	cm, err := a.NewCounterMonitor(vp, 1, vp.Block(0), vp.Block(1), vp.Block(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm.Calibrate()
+	const budget = 5
+	for _, writes := range []uint64{0, 1, 3, 5} {
+		cm.PresetFor(budget)
+		// The victim writes `writes` distinct blocks; each write-back
+		// propagates one increment up the shared chain.
+		for w := uint64(0); w < writes; w++ {
+			vb := vp.Block(int(w))
+			r.sys.WriteThrough(victimCore, vb, [arch.BlockSize]byte{byte(w + 1)})
+			cm.PropagateVictim(vb)
+		}
+		got, err := cm.CountVictimWrites(budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != writes {
+			t.Fatalf("counted %d victim writes, want %d", got, writes)
+		}
+	}
+}
+
+func TestPresetForBounds(t *testing.T) {
+	r := newRig(t, 27, 0)
+	a := NewAttacker(r.sys, r.mc, 0, false)
+	cm, err := a.NewCounterMonitor(arch.PageID(1000), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm.Calibrate()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero budget")
+		}
+	}()
+	cm.PresetFor(0)
+}

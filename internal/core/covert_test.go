@@ -1,0 +1,150 @@
+package core
+
+import (
+	"testing"
+
+	"metaleak/internal/arch"
+)
+
+func bitsFromBytes(msg []byte) []bool {
+	var out []bool
+	for _, b := range msg {
+		for i := 7; i >= 0; i-- {
+			out = append(out, b>>i&1 == 1)
+		}
+	}
+	return out
+}
+
+func TestCovertTPerfectWithoutNoise(t *testing.T) {
+	r := newRig(t, 30, 0)
+	trojan := NewAttacker(r.sys, r.mc, 0, false)
+	spy := NewAttacker(r.sys, r.mc, 1, false)
+	ch, err := NewCovertT(trojan, spy, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := bitsFromBytes([]byte{0x69, 0xa5, 0x3c}) // 01101001 10100101 00111100
+	got := ch.Send(bits)
+	for i := range bits {
+		if got[i] != bits[i] {
+			t.Fatalf("bit %d flipped (trace %v)", i, ch.Trace[i])
+		}
+	}
+	if ch.Accuracy() != 1 {
+		t.Fatalf("accuracy %f", ch.Accuracy())
+	}
+	if ch.BoundaryMiss != 0 {
+		t.Fatalf("boundary missed %d times", ch.BoundaryMiss)
+	}
+}
+
+func TestCovertTUnderNoiseAboveNinetyPercent(t *testing.T) {
+	r := newRig(t, 31, 25000)
+	trojan := NewAttacker(r.sys, r.mc, 0, false)
+	spy := NewAttacker(r.sys, r.mc, 1, false)
+	ch, err := NewCovertT(trojan, spy, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := arch.NewRNG(9)
+	bits := make([]bool, 200)
+	for i := range bits {
+		bits[i] = rng.Bool(0.5)
+	}
+	ch.Send(bits)
+	if acc := ch.Accuracy(); acc < 0.9 {
+		t.Fatalf("noisy accuracy %.3f < 0.9", acc)
+	}
+}
+
+func TestCovertTOnSIT(t *testing.T) {
+	// SGX configuration: L1-level sharing (L0 covers one page).
+	r := newRigTree(t, 32, 0, "SIT")
+	trojan := NewAttacker(r.sys, r.mc, 0, true)
+	spy := NewAttacker(r.sys, r.mc, 1, true)
+	ch, err := NewCovertT(trojan, spy, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := bitsFromBytes([]byte{0xc3, 0x5a})
+	got := ch.Send(bits)
+	errs := 0
+	for i := range bits {
+		if got[i] != bits[i] {
+			errs++
+		}
+	}
+	if errs > 1 {
+		t.Fatalf("%d/%d bit errors on SIT", errs, len(bits))
+	}
+}
+
+func TestCovertCRoundTrip(t *testing.T) {
+	r := newRig(t, 33, 0)
+	trojan := NewAttacker(r.sys, r.mc, 0, false)
+	spy := NewAttacker(r.sys, r.mc, 1, false)
+	ch, err := NewCovertC(trojan, spy, arch.PageID(600), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	symbols := []int{0, 1, 42, 100, 126, 7, 63}
+	got, err := ch.Send(symbols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range symbols {
+		if got[i] != symbols[i] {
+			t.Fatalf("symbol %d: got %d want %d", i, got[i], symbols[i])
+		}
+	}
+	if ch.Accuracy() != 1 {
+		t.Fatalf("accuracy %f", ch.Accuracy())
+	}
+}
+
+func TestCovertCSymbolRangeError(t *testing.T) {
+	r := newRig(t, 34, 0)
+	trojan := NewAttacker(r.sys, r.mc, 0, false)
+	spy := NewAttacker(r.sys, r.mc, 1, false)
+	ch, err := NewCovertC(trojan, spy, arch.PageID(700), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch.SendSymbol(127); err == nil {
+		t.Fatal("expected range error for symbol 127")
+	}
+}
+
+func TestCovertTSendString(t *testing.T) {
+	r := newRig(t, 35, 0)
+	trojan := NewAttacker(r.sys, r.mc, 0, false)
+	spy := NewAttacker(r.sys, r.mc, 1, false)
+	ch, err := NewCovertT(trojan, spy, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ch.SendString("Hi!"); got != "Hi!" {
+		t.Fatalf("decoded %q", got)
+	}
+}
+
+func TestCovertCSendBytes(t *testing.T) {
+	r := newRig(t, 36, 0)
+	trojan := NewAttacker(r.sys, r.mc, 0, false)
+	spy := NewAttacker(r.sys, r.mc, 1, false)
+	ch, err := NewCovertC(trojan, spy, arch.PageID(900), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte{0x00, 0x42, 0x7e, 0x7f, 0xff} // spans the escape boundary
+	got, err := ch.SendBytes(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range msg {
+		if got[i] != msg[i] {
+			t.Fatalf("byte %d: got %#x want %#x", i, got[i], msg[i])
+		}
+	}
+}

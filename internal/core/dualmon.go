@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+
+	"metaleak/internal/arch"
+	"metaleak/internal/itree"
+)
+
+// DualMonitor watches two victim pages at once and classifies each victim
+// step as an access to one or the other — the shape of all three case
+// studies: r vs. nbits in libjpeg (§VIII-A1), square vs. multiply in
+// libgcrypt (§VIII-B1), shift vs. subtract in mbedTLS (§VIII-B2).
+type DualMonitor struct {
+	MonA, MonB *Monitor
+}
+
+// PlaceVictimPages chooses n page frames for the victim's leaky pages and
+// assigns them to the victim's core — the page-placement step of
+// §VIII-A1: an unprivileged attacker massages the per-core free lists, a
+// privileged SGX attacker controls EPC assignment outright. Frames are
+// chosen so that their level-l tree nodes are pairwise distinct, live in
+// pairwise distinct metadata cache sets, and no frame's metadata chain
+// conflict-maps onto another frame's node set.
+func (a *Attacker) PlaceVictimPages(victimCore, n, level int) ([]arch.PageID, error) {
+	meta := a.MC.Meta()
+	var frames []arch.PageID
+	var nodeSets []int
+	seenNodes := make(map[int]bool)
+	limit := arch.PageID(a.Sys.SecurePages())
+	for f := arch.PageID(0); f < limit && len(frames) < n; f++ {
+		if a.Sys.Owner(f) != -1 {
+			continue
+		}
+		ns := a.NodeOfPage(f, level)
+		nodeKey := ns.Index
+		if seenNodes[nodeKey] {
+			continue
+		}
+		set := meta.SetIndex(a.tree().NodeBlockID(ns))
+		chain := a.chainSets(f.Block(0), level)
+		ok := true
+		for i, prev := range frames {
+			if set == nodeSets[i] {
+				ok = false
+				break
+			}
+			if intersects(chain, []int{nodeSets[i]}) {
+				ok = false
+				break
+			}
+			if intersects(a.chainSets(prev.Block(0), level), []int{set}) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		if err := a.Sys.AllocFrame(victimCore, f); err != nil {
+			// Frame not grantable to the victim (e.g. outside its domain
+			// under the §IX-C isolation defence): keep searching.
+			continue
+		}
+		frames = append(frames, f)
+		nodeSets = append(nodeSets, set)
+		seenNodes[nodeKey] = true
+	}
+	if len(frames) < n {
+		return nil, fmt.Errorf("core: placed only %d/%d victim frames", len(frames), n)
+	}
+	return frames, nil
+}
+
+// NewDualMonitor builds monitors for two (already placed) victim pages at
+// the given tree level, with mutual set avoidance so that probing one
+// cannot disturb the other.
+func (a *Attacker) NewDualMonitor(pageA, pageB arch.PageID, level int) (*DualMonitor, error) {
+	meta := a.MC.Meta()
+	nsA := a.NodeOfPage(pageA, level)
+	nsB := a.NodeOfPage(pageB, level)
+	if nsA == nsB {
+		return nil, fmt.Errorf("core: victim pages share the level-%d node %v", level, nsA)
+	}
+	setA := meta.SetIndex(a.tree().NodeBlockID(nsA))
+	setB := meta.SetIndex(a.tree().NodeBlockID(nsB))
+	monA, err := a.NewMonitorSpec(MonitorSpec{
+		VictimPage: pageA, Level: level,
+		AvoidNodes: []itree.NodeRef{nsA, nsB},
+		AvoidSets:  []int{setB},
+	})
+	if err != nil {
+		return nil, err
+	}
+	monB, err := a.NewMonitorSpec(MonitorSpec{
+		VictimPage: pageB, Level: level,
+		AvoidNodes: []itree.NodeRef{nsA, nsB},
+		AvoidSets:  []int{setA},
+	})
+	if err != nil {
+		return nil, err
+	}
+	d := &DualMonitor{MonA: monA, MonB: monB}
+	d.Train(24)
+	return d, nil
+}
+
+// Train derives both monitors' thresholds under the attack's operating
+// conditions: it runs the full per-step loop (evict both, one victim-like
+// access via a primer, reload both) with known ground truth. Isolated
+// per-monitor calibration would sample colder tree state than the steady
+// attack loop and misplace the thresholds.
+func (d *DualMonitor) Train(rounds int) {
+	var aHit, aMiss, bHit, bMiss []arch.Cycles
+	for i := 0; i < rounds; i++ {
+		d.MonA.Evict()
+		d.MonB.Evict()
+		if i%2 == 0 {
+			d.MonA.PrimeNs()
+		} else {
+			d.MonB.PrimeNs()
+		}
+		aLat := d.MonA.ReloadLatency()
+		bLat := d.MonB.ReloadLatency()
+		if i%2 == 0 {
+			aHit = append(aHit, aLat)
+			bMiss = append(bMiss, bLat)
+		} else {
+			aMiss = append(aMiss, aLat)
+			bHit = append(bHit, bLat)
+		}
+	}
+	d.MonA.Threshold = midpoint(aHit, aMiss)
+	d.MonB.Threshold = midpoint(bHit, bMiss)
+}
+
+// Evict clears both watched nodes (one mEvict phase).
+func (d *DualMonitor) Evict() {
+	d.MonA.Evict()
+	d.MonB.Evict()
+}
+
+// Classify reloads both monitors and decides which page the victim
+// touched: true means page A. Ambiguous observations (both or neither
+// node present) fall back to the larger threshold margin.
+func (d *DualMonitor) Classify() bool {
+	isA, _, _ := d.ClassifyDetail()
+	return isA
+}
+
+// ClassifyDetail is Classify returning the raw reload latencies (the
+// Fig. 16/17 trace material).
+func (d *DualMonitor) ClassifyDetail() (isA bool, aLat, bLat arch.Cycles) {
+	aHit, aLat := d.MonA.Reload()
+	bHit, bLat := d.MonB.Reload()
+	switch {
+	case aHit && !bHit:
+		return true, aLat, bLat
+	case bHit && !aHit:
+		return false, aLat, bLat
+	default:
+		// Both or neither: compare distances below threshold.
+		da := int64(d.MonA.Threshold) - int64(aLat)
+		db := int64(d.MonB.Threshold) - int64(bLat)
+		return da >= db, aLat, bLat
+	}
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"testing"
+
+	"metaleak/internal/arch"
+	"metaleak/internal/itree"
+)
+
+func TestEvictionSetBlocksShareTargetSet(t *testing.T) {
+	r := newRig(t, 70, 0)
+	a := NewAttacker(r.sys, r.mc, 0, false)
+	meta := r.mc.Meta()
+	// Several targets across regions: counter blocks and tree node blocks.
+	targets := []arch.BlockID{
+		r.mc.Counters().CounterBlock(arch.PageID(5).Block(0)),
+		r.mc.Tree().NodeBlockID(a.NodeOfPage(arch.PageID(77), 0)),
+		r.mc.Tree().NodeBlockID(a.NodeOfPage(arch.PageID(4000), 1)),
+	}
+	for _, tgt := range targets {
+		es, err := a.BuildEvictionSet(tgt, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(es.Blocks) != 2*meta.Config().Ways {
+			t.Fatalf("set has %d blocks, want %d", len(es.Blocks), 2*meta.Config().Ways)
+		}
+		seen := make(map[arch.BlockID]bool)
+		for _, b := range es.Blocks {
+			cb := r.mc.Counters().CounterBlock(b)
+			if meta.SetIndex(cb) != meta.SetIndex(tgt) {
+				t.Fatalf("block %v's counter maps to set %d, want %d",
+					b, meta.SetIndex(cb), meta.SetIndex(tgt))
+			}
+			if seen[cb] {
+				t.Fatal("duplicate counter block in eviction set")
+			}
+			seen[cb] = true
+			if r.sys.Owner(b.Page()) != a.Core {
+				t.Fatal("eviction block not attacker-owned")
+			}
+		}
+	}
+}
+
+func TestEvictionSetRespectsAvoid(t *testing.T) {
+	r := newRig(t, 71, 0)
+	a := NewAttacker(r.sys, r.mc, 0, false)
+	avoidRef := a.NodeOfPage(arch.PageID(0), 1) // L1 subtree: pages 0..511
+	tgt := r.mc.Counters().CounterBlock(arch.PageID(3).Block(0))
+	es, err := a.BuildEvictionSet(tgt, []itree.NodeRef{avoidRef})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := a.counterIndexRange(avoidRef)
+	for _, b := range es.Blocks {
+		cb := r.mc.Counters().CounterBlock(b)
+		idx := int(cb - arch.CounterBase.Block())
+		if idx >= lo && idx < hi {
+			t.Fatalf("eviction block %v inside avoided subtree", b)
+		}
+	}
+}
+
+func TestMonitorStatsAccounting(t *testing.T) {
+	r := newRig(t, 72, 0)
+	vp, access := r.victim(1)
+	a := NewAttacker(r.sys, r.mc, 0, false)
+	m, err := a.NewMonitor(vp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Calibrate(6)
+	base := m.Rounds
+	for i := 0; i < 10; i++ {
+		m.Evict()
+		if i < 5 {
+			access()
+		}
+		m.Reload()
+	}
+	if m.Rounds != base+10 {
+		t.Fatalf("rounds %d want %d", m.Rounds, base+10)
+	}
+	if m.Hits < 4 || m.Hits > base+6 {
+		t.Fatalf("hit accounting off: %d", m.Hits)
+	}
+}
+
+func TestScratchStableAndOwned(t *testing.T) {
+	r := newRig(t, 73, 0)
+	a := NewAttacker(r.sys, r.mc, 0, false)
+	s1 := a.Scratch(100)
+	s2 := a.Scratch(50)
+	for i := range s2 {
+		if s1[i] != s2[i] {
+			t.Fatal("scratch blocks not stable across calls")
+		}
+	}
+	for _, b := range s1 {
+		if r.sys.Owner(b.Page()) != 0 {
+			t.Fatal("scratch block not owned by attacker")
+		}
+	}
+}
+
+func TestNodeOfBlockBounds(t *testing.T) {
+	r := newRig(t, 74, 0)
+	a := NewAttacker(r.sys, r.mc, 0, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range level")
+		}
+	}()
+	a.NodeOfBlock(arch.PageID(0).Block(0), 99)
+}
+
+func TestClaimUnderExhaustion(t *testing.T) {
+	r := newRig(t, 75, 0)
+	a := NewAttacker(r.sys, r.mc, 0, false)
+	ns := a.NodeOfPage(arch.PageID(0), 0) // leaf: 32 frames total
+	if _, err := a.ClaimUnder(ns, 33); err == nil {
+		t.Fatal("claimed more frames than the node covers")
+	}
+	frames, err := a.ClaimUnder(a.NodeOfPage(arch.PageID(64), 0), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range frames {
+		if a.NodeOfPage(f, 0) != a.NodeOfPage(arch.PageID(64), 0) {
+			t.Fatal("claimed frame outside the node")
+		}
+	}
+}

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"fmt"
+
+	"metaleak/internal/arch"
+	"metaleak/internal/itree"
+)
+
+// Monitor implements mEvict+mReload (§VI-A): it watches one shared
+// integrity tree node block Ns for evidence of victim accesses.
+//
+// Setup allocates a probe page whose counter verification path passes
+// through Ns (but through none of the victim's lower nodes), plus eviction
+// sets for every metadata block that must be out of the cache before a
+// measurement:
+//
+//   - the probe's counter block and its tree nodes strictly below Ns
+//     (otherwise the reload walk would stop before reaching Ns),
+//   - the victim's counter block and its nodes strictly below Ns
+//     (otherwise a repeated victim access would stop at its own cached
+//     leaf and never re-touch Ns),
+//   - and Ns itself.
+//
+// One round is: Evict, let the victim run, then Reload (a timed read of
+// the probe block). A fast reload means the walk stopped at a cached Ns —
+// the victim loaded it; a slow reload means Ns was still absent.
+type Monitor struct {
+	A  *Attacker
+	Ns itree.NodeRef
+	// Probe is D_A: the attacker block whose verification path crosses Ns.
+	Probe arch.BlockID
+	// Primer is another attacker block under Ns (in a third child subtree)
+	// used to emulate a victim access during threshold calibration.
+	Primer arch.BlockID
+
+	plan      *evictionPlan
+	Threshold arch.Cycles
+
+	// Stats.
+	Rounds uint64
+	Hits   uint64
+}
+
+// MonitorSpec parameterizes monitor construction beyond the basic
+// (victim page, level) pair. Zero values are valid.
+type MonitorSpec struct {
+	// VictimPage is the page whose level-Level tree node is watched.
+	VictimPage arch.PageID
+	// Level is the tree level of the shared node.
+	Level int
+	// AvoidNodes are additional tree nodes the monitor's eviction traffic
+	// must stay clear of (e.g. nodes watched by a concurrent monitor).
+	AvoidNodes []itree.NodeRef
+	// AvoidSets are metadata-cache set indices the monitor's own reload
+	// footprint (probe counter block and below-Ns nodes) must not map to —
+	// so reloading this monitor cannot displace another monitor's node.
+	AvoidSets []int
+}
+
+// pathBelow returns the tree nodes on a block's verification path at
+// levels strictly below the given level.
+func (a *Attacker) pathBelow(b arch.BlockID, level int) []itree.NodeRef {
+	refs := make([]itree.NodeRef, 0, level)
+	for l := 0; l < level; l++ {
+		refs = append(refs, a.NodeOfBlock(b, l))
+	}
+	return refs
+}
+
+// disjointBelow reports whether a frame's path below the level avoids all
+// the given nodes.
+func (a *Attacker) disjointBelow(f arch.PageID, level int, taken map[itree.NodeRef]bool) bool {
+	for l := 0; l < level; l++ {
+		if taken[a.NodeOfPage(f, l)] {
+			return false
+		}
+	}
+	return true
+}
+
+// chainSets returns the metadata-cache sets that a touch of block b can
+// insert into on its way to (but excluding) the level-l node: its counter
+// block's set and the sets of its tree nodes below l.
+func (a *Attacker) chainSets(b arch.BlockID, level int) []int {
+	meta := a.MC.Meta()
+	if meta == nil {
+		return nil // randomized metadata cache: no set geometry exists
+	}
+	sets := []int{meta.SetIndex(a.MC.Counters().CounterBlock(b))}
+	for l := 0; l < level; l++ {
+		sets = append(sets, meta.SetIndex(a.tree().NodeBlockID(a.NodeOfBlock(b, l))))
+	}
+	return sets
+}
+
+func intersects(a, b []int) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// NewMonitor builds a monitor for the tree node shared with victimPage at
+// the given level (see NewMonitorSpec for the full-control variant).
+func (a *Attacker) NewMonitor(victimPage arch.PageID, level int, extraAvoid ...itree.NodeRef) (*Monitor, error) {
+	return a.NewMonitorSpec(MonitorSpec{
+		VictimPage: victimPage,
+		Level:      level,
+		AvoidNodes: extraAvoid,
+	})
+}
+
+// NewMonitorSpec builds a monitor per the spec. The victim's page must
+// already be allocated (the attacker positions its own pages around it,
+// per §VIII-A1).
+func (a *Attacker) NewMonitorSpec(spec MonitorSpec) (*Monitor, error) {
+	victimBlock := spec.VictimPage.Block(0)
+	level := spec.Level
+	ns := a.NodeOfBlock(victimBlock, level)
+	taken := make(map[itree.NodeRef]bool)
+	for _, ref := range a.pathBelow(victimBlock, level) {
+		taken[ref] = true
+	}
+
+	frameOK := func(f arch.PageID) bool {
+		return a.disjointBelow(f, level, taken) &&
+			!intersects(a.chainSets(f.Block(0), level), spec.AvoidSets)
+	}
+
+	// Probe frame: under Ns, lower path disjoint from the victim's, chain
+	// sets clear of the forbidden sets.
+	m := &Monitor{A: a, Ns: ns}
+	claim := func(out *arch.BlockID) func(arch.PageID) bool {
+		return func(f arch.PageID) bool {
+			if !frameOK(f) {
+				return false
+			}
+			if err := a.ClaimFrame(f); err != nil {
+				// Unclaimable (e.g. outside the attacker's domain under the
+				// §IX-C isolation defence): keep searching.
+				return false
+			}
+			*out = f.Block(0)
+			return true
+		}
+	}
+	if !a.VisitFramesUnder(ns, claim(&m.Probe)) {
+		return nil, fmt.Errorf("core: no probe frame under %v satisfying constraints", ns)
+	}
+	for _, ref := range a.pathBelow(m.Probe, level) {
+		taken[ref] = true
+	}
+
+	// Primer frame: under Ns, disjoint from both victim and probe below Ns.
+	if !a.VisitFramesUnder(ns, claim(&m.Primer)) {
+		return nil, fmt.Errorf("core: no primer frame under %v", ns)
+	}
+
+	// Eviction plan: counter blocks and below-Ns nodes of probe, primer and
+	// victim, plus Ns itself. Eviction traffic must stay outside all those
+	// subtrees (and, while cheap, outside Ns entirely).
+	ctrs := a.MC.Counters()
+	targets := []arch.BlockID{
+		ctrs.CounterBlock(m.Probe),
+		ctrs.CounterBlock(m.Primer),
+		ctrs.CounterBlock(victimBlock),
+	}
+	var avoid []itree.NodeRef
+	for _, b := range []arch.BlockID{m.Probe, m.Primer, victimBlock} {
+		for _, ref := range a.pathBelow(b, level) {
+			targets = append(targets, a.tree().NodeBlockID(ref))
+			avoid = append(avoid, ref)
+		}
+	}
+	targets = append(targets, a.tree().NodeBlockID(ns))
+	if level <= 2 {
+		avoid = append(avoid, ns)
+	}
+	avoid = append(avoid, spec.AvoidNodes...)
+	plan, err := a.buildPlan(make(setCache), targets, avoid)
+	if err != nil {
+		return nil, err
+	}
+	m.plan = plan
+	plan.warm(a)
+	return m, nil
+}
+
+// Evict performs the mEvict step.
+func (m *Monitor) Evict() { m.plan.run(m.A) }
+
+// ReloadLatency performs the timed mReload access and returns the raw
+// latency.
+func (m *Monitor) ReloadLatency() arch.Cycles {
+	m.A.Sys.Flush(m.A.Core, m.Probe)
+	return m.A.Sys.TimedRead(m.A.Core, m.Probe)
+}
+
+// Reload performs mReload and classifies the result: true means Ns was
+// cached (the victim accessed a block under it).
+func (m *Monitor) Reload() (bool, arch.Cycles) {
+	lat := m.ReloadLatency()
+	m.Rounds++
+	hit := lat < m.Threshold
+	if hit {
+		m.Hits++
+	}
+	return hit, lat
+}
+
+// PrimeNs emulates a victim access to a block under Ns using the primer
+// page (calibration only — a real victim does this step itself). It works
+// after an Evict because the primer's own metadata is part of the
+// eviction plan.
+func (m *Monitor) PrimeNs() {
+	m.A.Sys.Flush(m.A.Core, m.Primer)
+	m.A.Sys.Touch(m.A.Core, m.Primer)
+}
+
+// Calibrate measures the two reload distributions (Ns cached vs. absent)
+// and sets the classification threshold between them (quartile-based, see
+// midpoint). It returns the two means for inspection.
+func (m *Monitor) Calibrate(rounds int) (hitMean, missMean arch.Cycles) {
+	var hits, misses []arch.Cycles
+	var hitSum, missSum uint64
+	for i := 0; i < rounds; i++ {
+		m.Evict()
+		m.PrimeNs()
+		h := m.ReloadLatency()
+		hits = append(hits, h)
+		hitSum += uint64(h)
+
+		m.Evict()
+		ms := m.ReloadLatency()
+		misses = append(misses, ms)
+		missSum += uint64(ms)
+	}
+	hitMean = arch.Cycles(hitSum / uint64(rounds))
+	missMean = arch.Cycles(missSum / uint64(rounds))
+	m.Threshold = midpoint(hits, misses)
+	return hitMean, missMean
+}
+
+// LevelReport summarizes the signal available at one tree level for a
+// victim page (produced by ProbeLevels).
+type LevelReport struct {
+	Level    int
+	HitMean  arch.Cycles
+	MissMean arch.Cycles
+	// Gap is MissMean - HitMean: the usable signal.
+	Gap int64
+	// Err is non-nil when no monitor could be built at this level (e.g.
+	// under the isolation defence).
+	Err error
+}
+
+// ProbeLevels surveys every stored tree level of the victim page and
+// reports the hit/miss latency gap a monitor would see — the attacker's
+// reconnaissance step for choosing the exploitation level (the Fig. 12
+// resolution/coverage trade-off made empirical).
+func (a *Attacker) ProbeLevels(victimPage arch.PageID, calibrationRounds int) []LevelReport {
+	levels := a.tree().StoredLevels()
+	out := make([]LevelReport, 0, levels)
+	for l := 0; l < levels; l++ {
+		rep := LevelReport{Level: l}
+		m, err := a.NewMonitor(victimPage, l)
+		if err != nil {
+			rep.Err = err
+			out = append(out, rep)
+			continue
+		}
+		rep.HitMean, rep.MissMean = m.Calibrate(calibrationRounds)
+		rep.Gap = int64(rep.MissMean) - int64(rep.HitMean)
+		out = append(out, rep)
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+
+	"metaleak/internal/arch"
+	"metaleak/internal/itree"
+)
+
+// VolumeMonitor is mEvict+mReload against a MIRAGE-randomized metadata
+// cache (§IX-B): with no stable address-to-set mapping, conflict-based
+// eviction sets cannot be built — but every metadata-cache miss evicts a
+// uniformly random resident line, so flooding the cache with enough
+// attacker counter-block misses flushes the watched node (and the probe's
+// own chain, and the victim's chain) with high probability. Fig. 18
+// quantifies the cost: thousands of accesses per round instead of tens.
+type VolumeMonitor struct {
+	A  *Attacker
+	Ns itree.NodeRef
+	// Probe and Primer play the same roles as in Monitor.
+	Probe, Primer arch.BlockID
+	// Volume is the number of flooding accesses per Evict.
+	Volume int
+
+	traffic []arch.BlockID
+	cursor  int
+
+	Threshold arch.Cycles
+
+	// Stats.
+	Rounds uint64
+	Hits   uint64
+}
+
+// NewVolumeMonitor builds a volume-based monitor for the node shared with
+// victimPage at the given level. The traffic pool holds `volume` distinct
+// counter blocks (enough to keep every flooding access a miss at steady
+// state) outside the watched subtree.
+func (a *Attacker) NewVolumeMonitor(victimPage arch.PageID, level, volume int) (*VolumeMonitor, error) {
+	if volume < 1 {
+		return nil, fmt.Errorf("core: volume must be positive")
+	}
+	victimBlock := victimPage.Block(0)
+	ns := a.NodeOfBlock(victimBlock, level)
+	taken := make(map[itree.NodeRef]bool)
+	for _, ref := range a.pathBelow(victimBlock, level) {
+		taken[ref] = true
+	}
+	m := &VolumeMonitor{A: a, Ns: ns, Volume: volume}
+
+	claim := func(out *arch.BlockID) bool {
+		return a.VisitFramesUnder(ns, func(f arch.PageID) bool {
+			if !a.disjointBelow(f, level, taken) {
+				return false
+			}
+			if err := a.ClaimFrame(f); err != nil {
+				return false
+			}
+			*out = f.Block(0)
+			return true
+		})
+	}
+	if !claim(&m.Probe) {
+		return nil, fmt.Errorf("core: no probe frame under %v", ns)
+	}
+	for _, ref := range a.pathBelow(m.Probe, level) {
+		taken[ref] = true
+	}
+	if !claim(&m.Primer) {
+		return nil, fmt.Errorf("core: no primer frame under %v", ns)
+	}
+
+	// Flooding pool: distinct counter blocks outside Ns's subtree.
+	lo, hi := a.counterIndexRange(ns)
+	seenCB := make(map[arch.BlockID]bool)
+	limit := arch.PageID(a.Sys.SecurePages())
+	for f := arch.PageID(0); f < limit && len(m.traffic) < volume; f++ {
+		if a.Sys.Owner(f) != -1 {
+			continue
+		}
+		b := f.Block(0)
+		cb := a.MC.Counters().CounterBlock(b)
+		idx := int(cb - arch.CounterBase.Block())
+		if idx >= lo && idx < hi {
+			continue // inside the watched subtree
+		}
+		if seenCB[cb] {
+			continue
+		}
+		if err := a.ClaimFrame(f); err != nil {
+			continue
+		}
+		seenCB[cb] = true
+		m.traffic = append(m.traffic, b)
+	}
+	if len(m.traffic) < volume {
+		return nil, fmt.Errorf("core: flooding pool has only %d/%d blocks", len(m.traffic), volume)
+	}
+	return m, nil
+}
+
+// Evict floods the randomized metadata cache with Volume counter-block
+// misses, evicting Ns (and the probe and victim chains) with the Fig. 18
+// probability.
+func (m *VolumeMonitor) Evict() {
+	a := m.A
+	for i := 0; i < m.Volume; i++ {
+		b := m.traffic[m.cursor]
+		m.cursor = (m.cursor + 1) % len(m.traffic)
+		a.Sys.Flush(a.Core, b)
+		a.Sys.Touch(a.Core, b)
+	}
+}
+
+// ReloadLatency performs the timed mReload access.
+func (m *VolumeMonitor) ReloadLatency() arch.Cycles {
+	m.A.Sys.Flush(m.A.Core, m.Probe)
+	return m.A.Sys.TimedRead(m.A.Core, m.Probe)
+}
+
+// Reload classifies the probe read: true means Ns was on-chip.
+func (m *VolumeMonitor) Reload() (bool, arch.Cycles) {
+	lat := m.ReloadLatency()
+	m.Rounds++
+	hit := lat < m.Threshold
+	if hit {
+		m.Hits++
+	}
+	return hit, lat
+}
+
+// PrimeNs emulates a victim access (calibration only).
+func (m *VolumeMonitor) PrimeNs() {
+	m.A.Sys.Flush(m.A.Core, m.Primer)
+	m.A.Sys.Touch(m.A.Core, m.Primer)
+}
+
+// Calibrate trains the threshold exactly like Monitor.Calibrate.
+func (m *VolumeMonitor) Calibrate(rounds int) (hitMean, missMean arch.Cycles) {
+	var hits, misses []arch.Cycles
+	var hitSum, missSum uint64
+	for i := 0; i < rounds; i++ {
+		m.Evict()
+		m.PrimeNs()
+		h := m.ReloadLatency()
+		hits = append(hits, h)
+		hitSum += uint64(h)
+
+		m.Evict()
+		ms := m.ReloadLatency()
+		misses = append(misses, ms)
+		missSum += uint64(ms)
+	}
+	hitMean = arch.Cycles(hitSum / uint64(rounds))
+	missMean = arch.Cycles(missSum / uint64(rounds))
+	m.Threshold = midpoint(hits, misses)
+	return hitMean, missMean
+}

@@ -1,0 +1,57 @@
+package crypto
+
+// ghash implements the GHASH universal hash of GCM (McGrew & Viega, cited
+// by the paper as the MAC of choice in secure processors): a polynomial
+// evaluation over GF(2^128) with the field defined by
+// x^128 + x^7 + x^2 + x + 1.
+//
+// The implementation is the classic shift-and-conditionally-reduce
+// bit-serial multiply. It is deliberately simple; the simulator charges a
+// fixed HashLatency regardless, so host-side constant-time behaviour is
+// irrelevant here.
+type ghash struct {
+	h [2]uint64 // subkey H
+	y [2]uint64 // accumulator
+}
+
+func (g *ghash) init(h [2]uint64) {
+	g.h = h
+	g.y = [2]uint64{}
+}
+
+// update absorbs one 128-bit block: Y <- (Y xor X) * H.
+func (g *ghash) update(hi, lo uint64) {
+	g.y[0] ^= hi
+	g.y[1] ^= lo
+	g.y = gfMul(g.y, g.h)
+}
+
+// sum folds the 128-bit state to the 64-bit tag used by the simulator.
+func (g *ghash) sum() uint64 { return g.y[0] ^ g.y[1] }
+
+// gfMul multiplies two elements of GF(2^128) in the GCM bit order
+// (bit 0 of x[0] is the coefficient of the highest power).
+func gfMul(x, y [2]uint64) [2]uint64 {
+	var z [2]uint64
+	v := y
+	for i := 0; i < 128; i++ {
+		var bit uint64
+		if i < 64 {
+			bit = (x[0] >> (63 - i)) & 1
+		} else {
+			bit = (x[1] >> (127 - i)) & 1
+		}
+		if bit == 1 {
+			z[0] ^= v[0]
+			z[1] ^= v[1]
+		}
+		// v <- v * x (shift right in GCM bit order), reduce by R.
+		carry := v[1] & 1
+		v[1] = v[1]>>1 | v[0]<<63
+		v[0] >>= 1
+		if carry == 1 {
+			v[0] ^= 0xe100000000000000
+		}
+	}
+	return z
+}

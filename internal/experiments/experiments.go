@@ -1,0 +1,259 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§V, §VI, §VIII, §IX-B) on the simulated secure processors.
+// Each experiment returns a Result with the same rows/series the paper
+// reports; EXPERIMENTS.md records the paper-vs-measured comparison.
+//
+// Experiments accept an Options to trade runtime for sample count; the
+// zero value selects defaults sized for interactive runs, and Full()
+// selects the paper-scale parameters.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"metaleak/internal/arch"
+)
+
+// Options scales the experiments.
+type Options struct {
+	// Samples scales per-class sample counts (Fig. 6/7/8).
+	Samples int
+	// Bits is the covert-channel transmission length (Fig. 11).
+	Bits int
+	// Symbols is the MetaLeak-C covert transmission length (Fig. 14).
+	Symbols int
+	// ImageSize is the square edge of the Fig. 15 victim images.
+	ImageSize int
+	// ExpBits is the RSA exponent length for Fig. 16.
+	ExpBits int
+	// PrimeBits is the RSA prime length for Fig. 17.
+	PrimeBits int
+	// Trials is the per-point repetition count for Fig. 18.
+	Trials int
+	// Seed perturbs every deterministic RNG in the run.
+	Seed uint64
+}
+
+// Default returns interactive-scale options.
+func Default() Options {
+	return Options{
+		Samples:   1000,
+		Bits:      250,
+		Symbols:   60,
+		ImageSize: 48,
+		ExpBits:   192,
+		PrimeBits: 128,
+		Trials:    40,
+	}
+}
+
+// Full returns paper-scale options (minutes of runtime).
+func Full() Options {
+	return Options{
+		Samples:   10000,
+		Bits:      1000,
+		Symbols:   1000,
+		ImageSize: 64,
+		ExpBits:   512,
+		PrimeBits: 256,
+		Trials:    100,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	d := Default()
+	if o.Samples == 0 {
+		o.Samples = d.Samples
+	}
+	if o.Bits == 0 {
+		o.Bits = d.Bits
+	}
+	if o.Symbols == 0 {
+		o.Symbols = d.Symbols
+	}
+	if o.ImageSize == 0 {
+		o.ImageSize = d.ImageSize
+	}
+	if o.ExpBits == 0 {
+		o.ExpBits = d.ExpBits
+	}
+	if o.PrimeBits == 0 {
+		o.PrimeBits = d.PrimeBits
+	}
+	if o.Trials == 0 {
+		o.Trials = d.Trials
+	}
+	return o
+}
+
+// Result is one regenerated table or figure.
+type Result struct {
+	ID     string // "fig6", "table1", ...
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Notes carry free-form findings (trace snippets, ASCII art).
+	Notes []string
+	// PaperClaim and Measured summarize the comparison for EXPERIMENTS.md.
+	PaperClaim string
+	Measured   string
+}
+
+// String renders the result as an aligned text table.
+func (r *Result) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", r.ID, r.Title)
+	if len(r.Header) > 0 {
+		widths := make([]int, len(r.Header))
+		for i, h := range r.Header {
+			widths[i] = len(h)
+		}
+		for _, row := range r.Rows {
+			for i, c := range row {
+				if i < len(widths) && len(c) > widths[i] {
+					widths[i] = len(c)
+				}
+			}
+		}
+		line := func(cells []string) {
+			for i, c := range cells {
+				if i < len(widths) {
+					fmt.Fprintf(&sb, "%-*s  ", widths[i], c)
+				} else {
+					sb.WriteString(c + "  ")
+				}
+			}
+			sb.WriteString("\n")
+		}
+		line(r.Header)
+		for _, row := range r.Rows {
+			line(row)
+		}
+	}
+	for _, n := range r.Notes {
+		sb.WriteString(n + "\n")
+	}
+	if r.PaperClaim != "" {
+		fmt.Fprintf(&sb, "paper:    %s\n", r.PaperClaim)
+	}
+	if r.Measured != "" {
+		fmt.Fprintf(&sb, "measured: %s\n", r.Measured)
+	}
+	return sb.String()
+}
+
+// Registry maps experiment IDs to their runners.
+var Registry = map[string]func(Options) (*Result, error){
+	"table1":    func(o Options) (*Result, error) { return Table1(o) },
+	"fig6":      func(o Options) (*Result, error) { return Fig6(o) },
+	"fig7":      func(o Options) (*Result, error) { return Fig7(o) },
+	"fig8":      func(o Options) (*Result, error) { return Fig8(o) },
+	"fig11":     func(o Options) (*Result, error) { return Fig11(o) },
+	"fig12":     func(o Options) (*Result, error) { return Fig12(o) },
+	"fig14":     func(o Options) (*Result, error) { return Fig14(o) },
+	"fig15":     func(o Options) (*Result, error) { return Fig15(o) },
+	"fig15c":    func(o Options) (*Result, error) { return Fig15C(o) },
+	"fig16":     func(o Options) (*Result, error) { return Fig16(o) },
+	"fig17":     func(o Options) (*Result, error) { return Fig17(o) },
+	"fig18":     func(o Options) (*Result, error) { return Fig18(o) },
+	"ablctr":    func(o Options) (*Result, error) { return AblationCounters(o) },
+	"abltree":   func(o Options) (*Result, error) { return AblationTrees(o) },
+	"ablmeta":   func(o Options) (*Result, error) { return AblationMetaCache(o) },
+	"ablsec":    func(o Options) (*Result, error) { return AblationSecureOverhead(o) },
+	"defiso":    func(o Options) (*Result, error) { return DefenseIsolation(o) },
+	"defrand":   func(o Options) (*Result, error) { return DefenseRandomizedMeta(o) },
+	"ablminor":  func(o Options) (*Result, error) { return AblationMinorWidth(o) },
+	"defladder": func(o Options) (*Result, error) { return DefenseLadder(o) },
+	"ablnoise":  func(o Options) (*Result, error) { return AblationNoise(o) },
+}
+
+// IDs returns the registered experiment IDs in a stable order.
+func IDs() []string {
+	out := make([]string, 0, len(Registry))
+	for id := range Registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// stats helpers --------------------------------------------------------------
+
+type sample []arch.Cycles
+
+func (s sample) sorted() sample {
+	out := append(sample(nil), s...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (s sample) mean() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s {
+		sum += float64(v)
+	}
+	return sum / float64(len(s))
+}
+
+func (s sample) percentile(p float64) arch.Cycles {
+	if len(s) == 0 {
+		return 0
+	}
+	sorted := s.sorted()
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func cyc(v float64) string { return fmt.Sprintf("%.0f", v) }
+
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// Markdown renders the result as a GitHub-flavoured markdown section —
+// the building block of `metaleak report`.
+func (r *Result) Markdown() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "### `%s` — %s\n\n", r.ID, r.Title)
+	if len(r.Header) > 0 {
+		sb.WriteString("| " + strings.Join(r.Header, " | ") + " |\n")
+		sb.WriteString("|" + strings.Repeat("---|", len(r.Header)) + "\n")
+		for _, row := range r.Rows {
+			sb.WriteString("| " + strings.Join(row, " | ") + " |\n")
+		}
+		sb.WriteString("\n")
+	}
+	for _, n := range r.Notes {
+		if strings.Contains(n, "\n") {
+			sb.WriteString("```\n" + strings.TrimRight(n, "\n") + "\n```\n\n")
+		} else {
+			sb.WriteString(n + "\n\n")
+		}
+	}
+	if r.PaperClaim != "" {
+		fmt.Fprintf(&sb, "*Paper:* %s\n\n", r.PaperClaim)
+	}
+	if r.Measured != "" {
+		fmt.Fprintf(&sb, "*Measured:* %s\n\n", r.Measured)
+	}
+	return sb.String()
+}
+
+// Report runs every registered experiment and renders one markdown
+// document (the regenerated evaluation).
+func Report(o Options) (string, error) {
+	var sb strings.Builder
+	sb.WriteString("# MetaLeak — regenerated evaluation\n\n")
+	sb.WriteString("Produced by `metaleak report`; see EXPERIMENTS.md for the paper comparison.\n\n")
+	for _, id := range IDs() {
+		res, err := Registry[id](o)
+		if err != nil {
+			return "", fmt.Errorf("%s: %w", id, err)
+		}
+		sb.WriteString(res.Markdown())
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,39 @@
+package jpeg
+
+import "testing"
+
+func BenchmarkFDCT(b *testing.B) {
+	var in [dctSize2]float64
+	for i := range in {
+		in[i] = float64(i%255) - 128
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = FDCT(&in)
+	}
+}
+
+func BenchmarkEncode64x64(b *testing.B) {
+	im, _ := Synthetic(PatternCircle, 64, 64)
+	enc := &Encoder{Quality: 75}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := enc.Encode(im); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode64x64(b *testing.B) {
+	im, _ := Synthetic(PatternCircle, 64, 64)
+	res, err := (&Encoder{Quality: 75}).Encode(im)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

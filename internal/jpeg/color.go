@@ -1,0 +1,353 @@
+package jpeg
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Color support: YCbCr 4:4:4 baseline encoding. Each MCU carries one Y,
+// one Cb and one Cr block; chroma uses the Annex-K chroma quantization
+// table and (for simplicity, which the format permits) the same Annex-K
+// luminance Huffman tables as Y. DecodeColorFile reads the files
+// EncodeColorFile writes, closing the loop for tests.
+
+// ImageRGB is an 8-bit RGB image (3 bytes per pixel).
+type ImageRGB struct {
+	W, H int
+	Pix  []uint8
+}
+
+// NewImageRGB allocates a black RGB image.
+func NewImageRGB(w, h int) *ImageRGB {
+	return &ImageRGB{W: w, H: h, Pix: make([]uint8, 3*w*h)}
+}
+
+// At returns the pixel at (x, y), clamping out-of-range coordinates.
+func (im *ImageRGB) At(x, y int) (r, g, b uint8) {
+	if x < 0 {
+		x = 0
+	}
+	if y < 0 {
+		y = 0
+	}
+	if x >= im.W {
+		x = im.W - 1
+	}
+	if y >= im.H {
+		y = im.H - 1
+	}
+	i := 3 * (y*im.W + x)
+	return im.Pix[i], im.Pix[i+1], im.Pix[i+2]
+}
+
+// Set writes the pixel at (x, y); out-of-range coordinates are ignored.
+func (im *ImageRGB) Set(x, y int, r, g, b uint8) {
+	if x < 0 || y < 0 || x >= im.W || y >= im.H {
+		return
+	}
+	i := 3 * (y*im.W + x)
+	im.Pix[i], im.Pix[i+1], im.Pix[i+2] = r, g, b
+}
+
+// SyntheticRGB generates a deterministic color test pattern: the
+// grayscale pattern in the green channel, with red/blue gradients.
+func SyntheticRGB(kind SyntheticKind, w, h int) (*ImageRGB, error) {
+	g, err := Synthetic(kind, w, h)
+	if err != nil {
+		return nil, err
+	}
+	im := NewImageRGB(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			im.Set(x, y,
+				uint8(x*255/max(1, w-1)),
+				g.At(x, y),
+				uint8(y*255/max(1, h-1)))
+		}
+	}
+	return im, nil
+}
+
+// rgbToYCbCr applies the JFIF conversion.
+func rgbToYCbCr(r, g, b uint8) (yy, cb, cr float64) {
+	rf, gf, bf := float64(r), float64(g), float64(b)
+	yy = 0.299*rf + 0.587*gf + 0.114*bf
+	cb = 128 - 0.168736*rf - 0.331264*gf + 0.5*bf
+	cr = 128 + 0.5*rf - 0.418688*gf - 0.081312*bf
+	return
+}
+
+// ycbcrToRGB inverts rgbToYCbCr with clamping.
+func ycbcrToRGB(yy, cb, cr float64) (uint8, uint8, uint8) {
+	r := yy + 1.402*(cr-128)
+	g := yy - 0.344136*(cb-128) - 0.714136*(cr-128)
+	b := yy + 1.772*(cb-128)
+	clamp := func(v float64) uint8 {
+		if v < 0 {
+			return 0
+		}
+		if v > 255 {
+			return 255
+		}
+		return uint8(v + 0.5)
+	}
+	return clamp(r), clamp(g), clamp(b)
+}
+
+// stdChromaQuant is the Annex-K chrominance quantization table.
+var stdChromaQuant = [dctSize2]int{
+	17, 18, 24, 47, 99, 99, 99, 99,
+	18, 21, 26, 66, 99, 99, 99, 99,
+	24, 26, 56, 99, 99, 99, 99, 99,
+	47, 66, 99, 99, 99, 99, 99, 99,
+	99, 99, 99, 99, 99, 99, 99, 99,
+	99, 99, 99, 99, 99, 99, 99, 99,
+	99, 99, 99, 99, 99, 99, 99, 99,
+	99, 99, 99, 99, 99, 99, 99, 99,
+}
+
+// ChromaQuantTable returns the chroma table scaled for an IJG quality
+// factor.
+func ChromaQuantTable(quality int) [dctSize2]int {
+	if quality < 1 {
+		quality = 1
+	}
+	if quality > 100 {
+		quality = 100
+	}
+	scale := 200 - 2*quality
+	if quality < 50 {
+		scale = 5000 / quality
+	}
+	var t [dctSize2]int
+	for i, q := range stdChromaQuant {
+		v := (q*scale + 50) / 100
+		if v < 1 {
+			v = 1
+		}
+		if v > 255 {
+			v = 255
+		}
+		t[i] = v
+	}
+	return t
+}
+
+// quantizePlane extracts and quantizes one component's block at (bx, by)
+// from a plane sampler.
+func quantizePlane(sample func(x, y int) float64, bx, by int, quant *[dctSize2]int) [dctSize2]int {
+	var s [dctSize2]float64
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			s[y*8+x] = sample(bx*8+x, by*8+y) - 128
+		}
+	}
+	coefs := FDCT(&s)
+	var out [dctSize2]int
+	for i := 0; i < dctSize2; i++ {
+		out[i] = int(math.Round(coefs[i] / float64(quant[i])))
+	}
+	return out
+}
+
+// EncodeColorFile writes a baseline YCbCr 4:4:4 JFIF file.
+func EncodeColorFile(w io.Writer, im *ImageRGB, quality int) error {
+	if quality == 0 {
+		quality = 75
+	}
+	lumaQ := QuantTable(quality)
+	chromaQ := ChromaQuantTable(quality)
+
+	// Entropy-encode interleaved MCUs (Y, Cb, Cr), per-component DC
+	// prediction, shared Huffman tables.
+	e := &Encoder{}
+	bw := &bitWriter{}
+	lastDC := [3]int{}
+	bwid, bhig := (im.W+7)/8, (im.H+7)/8
+	samplers := [3]func(x, y int) float64{
+		func(x, y int) float64 { yy, _, _ := rgbToYCbCr(im.At(x, y)); return yy },
+		func(x, y int) float64 { _, cb, _ := rgbToYCbCr(im.At(x, y)); return cb },
+		func(x, y int) float64 { _, _, cr := rgbToYCbCr(im.At(x, y)); return cr },
+	}
+	quants := [3]*[dctSize2]int{&lumaQ, &chromaQ, &chromaQ}
+	for by := 0; by < bhig; by++ {
+		for bx := 0; bx < bwid; bx++ {
+			for comp := 0; comp < 3; comp++ {
+				block := quantizePlane(samplers[comp], bx, by, quants[comp])
+				dc, err := e.encodeOneBlock(bw, &block, lastDC[comp])
+				if err != nil {
+					return err
+				}
+				lastDC[comp] = dc
+			}
+		}
+	}
+
+	var buf bytes.Buffer
+	marker := func(m byte) { buf.Write([]byte{0xff, m}) }
+	segment := func(m byte, payload []byte) {
+		marker(m)
+		n := len(payload) + 2
+		buf.WriteByte(byte(n >> 8))
+		buf.WriteByte(byte(n))
+		buf.Write(payload)
+	}
+	marker(mSOI)
+	segment(mAPP0, []byte{'J', 'F', 'I', 'F', 0, 1, 1, 0, 0, 1, 0, 1, 0, 0})
+	writeDQT := func(id byte, q *[dctSize2]int) {
+		p := make([]byte, 1+dctSize2)
+		p[0] = id
+		for k := 0; k < dctSize2; k++ {
+			p[1+k] = byte(q[jpegNaturalOrder[k]])
+		}
+		segment(mDQT, p)
+	}
+	writeDQT(0, &lumaQ)
+	writeDQT(1, &chromaQ)
+	sof := []byte{
+		8,
+		byte(im.H >> 8), byte(im.H),
+		byte(im.W >> 8), byte(im.W),
+		3,
+		1, 0x11, 0, // Y: 1x1, luma quant
+		2, 0x11, 1, // Cb: 1x1, chroma quant
+		3, 0x11, 1, // Cr
+	}
+	segment(mSOF0, sof)
+	dht := []byte{0x00}
+	for _, c := range dcLumCounts {
+		dht = append(dht, byte(c))
+	}
+	dht = append(dht, dcLumValues...)
+	dht = append(dht, 0x10)
+	for _, c := range acLumCounts {
+		dht = append(dht, byte(c))
+	}
+	dht = append(dht, acLumValues...)
+	segment(mDHT, dht)
+	segment(mSOS, []byte{3, 1, 0x00, 2, 0x00, 3, 0x00, 0, 63, 0})
+	for _, b := range bw.flush() {
+		buf.WriteByte(b)
+		if b == 0xff {
+			buf.WriteByte(0x00)
+		}
+	}
+	marker(mEOI)
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// DecodeColorFile reads the YCbCr files EncodeColorFile writes.
+func DecodeColorFile(r io.Reader) (*ImageRGB, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < 4 || data[0] != 0xff || data[1] != mSOI {
+		return nil, fmt.Errorf("jpeg: missing SOI")
+	}
+	pos := 2
+	var quant [2][dctSize2]int
+	var width, height int
+	haveSOF := false
+	for pos+4 <= len(data) {
+		if data[pos] != 0xff {
+			return nil, fmt.Errorf("jpeg: expected marker at %d", pos)
+		}
+		m := data[pos+1]
+		if m == mEOI {
+			return nil, fmt.Errorf("jpeg: EOI before SOS")
+		}
+		segLen := int(data[pos+2])<<8 | int(data[pos+3])
+		if segLen < 2 || pos+2+segLen > len(data) {
+			return nil, fmt.Errorf("jpeg: bad segment %#x", m)
+		}
+		payload := data[pos+4 : pos+2+segLen]
+		switch m {
+		case mAPP0, mDHT: // tables are fixed by construction; DHT validated implicitly by decode
+		case mDQT:
+			if len(payload) != 1+dctSize2 || payload[0] > 1 {
+				return nil, fmt.Errorf("jpeg: unsupported DQT")
+			}
+			id := payload[0]
+			for k := 0; k < dctSize2; k++ {
+				quant[id][jpegNaturalOrder[k]] = int(payload[1+k])
+			}
+		case mSOF0:
+			if len(payload) != 15 || payload[0] != 8 || payload[5] != 3 {
+				return nil, fmt.Errorf("jpeg: not a 3-component baseline file")
+			}
+			height = int(payload[1])<<8 | int(payload[2])
+			width = int(payload[3])<<8 | int(payload[4])
+			if width <= 0 || height <= 0 || width*height > 1<<24 {
+				return nil, fmt.Errorf("jpeg: unreasonable dimensions %dx%d", width, height)
+			}
+			haveSOF = true
+		case mSOS:
+			if !haveSOF {
+				return nil, fmt.Errorf("jpeg: SOS before SOF")
+			}
+			body := data[pos+2+segLen:]
+			var ecs []byte
+			for i := 0; i < len(body); i++ {
+				if body[i] != 0xff {
+					ecs = append(ecs, body[i])
+					continue
+				}
+				if i+1 >= len(body) {
+					return nil, fmt.Errorf("jpeg: scan ends in a bare 0xFF")
+				}
+				if body[i+1] == 0x00 {
+					ecs = append(ecs, 0xff)
+					i++
+					continue
+				}
+				if body[i+1] == mEOI {
+					return decodeColorScan(ecs, width, height, &quant)
+				}
+				return nil, fmt.Errorf("jpeg: unexpected marker %#x in scan", body[i+1])
+			}
+			return nil, fmt.Errorf("jpeg: missing EOI")
+		default:
+			return nil, fmt.Errorf("jpeg: unsupported marker %#x", m)
+		}
+		pos += 2 + segLen
+	}
+	return nil, fmt.Errorf("jpeg: no SOS segment")
+}
+
+// decodeColorScan entropy-decodes interleaved YCbCr MCUs and renders RGB.
+func decodeColorScan(ecs []byte, width, height int, quant *[2][dctSize2]int) (*ImageRGB, error) {
+	br := &bitReader{buf: ecs}
+	bwid, bhig := (width+7)/8, (height+7)/8
+	im := NewImageRGB(width, height)
+	lastDC := [3]int{}
+	qsel := [3]int{0, 1, 1}
+	for by := 0; by < bhig; by++ {
+		for bx := 0; bx < bwid; bx++ {
+			var planes [3][dctSize2]float64
+			for comp := 0; comp < 3; comp++ {
+				block, dc, err := decodeOneBlock(br, lastDC[comp])
+				if err != nil {
+					return nil, err
+				}
+				lastDC[comp] = dc
+				var coefs [dctSize2]float64
+				for j := 0; j < dctSize2; j++ {
+					coefs[j] = float64(block[j] * quant[qsel[comp]][j])
+				}
+				planes[comp] = IDCT(&coefs)
+			}
+			for y := 0; y < 8; y++ {
+				for x := 0; x < 8; x++ {
+					i := y*8 + x
+					r, g, b := ycbcrToRGB(planes[0][i]+128, planes[1][i]+128, planes[2][i]+128)
+					im.Set(bx*8+x, by*8+y, r, g, b)
+				}
+			}
+		}
+	}
+	return im, nil
+}

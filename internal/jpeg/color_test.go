@@ -1,0 +1,133 @@
+package jpeg
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestYCbCrRoundTrip(t *testing.T) {
+	f := func(r, g, b uint8) bool {
+		yy, cb, cr := rgbToYCbCr(r, g, b)
+		r2, g2, b2 := ycbcrToRGB(yy, cb, cr)
+		// Fixed-point-free float conversion is near-exact.
+		return absInt(int(r)-int(r2)) <= 1 && absInt(int(g)-int(g2)) <= 1 && absInt(int(b)-int(b2)) <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func psnrRGB(a, b *ImageRGB) float64 {
+	var mse float64
+	for i := range a.Pix {
+		d := float64(a.Pix[i]) - float64(b.Pix[i])
+		mse += d * d
+	}
+	mse /= float64(len(a.Pix))
+	if mse == 0 {
+		return math.Inf(1)
+	}
+	return 10 * math.Log10(255*255/mse)
+}
+
+func TestColorFileRoundTrip(t *testing.T) {
+	for _, q := range []int{60, 85} {
+		im, err := SyntheticRGB(PatternCircle, 40, 24)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := EncodeColorFile(&buf, im, q); err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeColorFile(&buf)
+		if err != nil {
+			t.Fatalf("q=%d: %v", q, err)
+		}
+		if got.W != im.W || got.H != im.H {
+			t.Fatalf("size %dx%d", got.W, got.H)
+		}
+		if p := psnrRGB(im, got); p < 22 {
+			t.Fatalf("q=%d: PSNR %.1f", q, p)
+		}
+	}
+}
+
+func TestColorFileStructure(t *testing.T) {
+	im, _ := SyntheticRGB(PatternStripes, 16, 16)
+	var buf bytes.Buffer
+	if err := EncodeColorFile(&buf, im, 75); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if b[0] != 0xff || b[1] != mSOI || b[len(b)-1] != mEOI {
+		t.Fatal("missing SOI/EOI")
+	}
+	// Grayscale reader must reject the 3-component file.
+	if _, err := DecodeFile(bytes.NewReader(b)); err == nil {
+		t.Fatal("grayscale reader accepted a color file")
+	}
+}
+
+func TestColorImageAccessors(t *testing.T) {
+	im := NewImageRGB(4, 4)
+	im.Set(1, 2, 10, 20, 30)
+	r, g, b := im.At(1, 2)
+	if r != 10 || g != 20 || b != 30 {
+		t.Fatal("pixel round trip")
+	}
+	// Clamping.
+	if r, _, _ := im.At(-5, 100); r != 0 {
+		t.Fatal("clamped read broken")
+	}
+	im.Set(-1, -1, 9, 9, 9) // ignored, no panic
+}
+
+func TestChromaQuantCoarserThanLuma(t *testing.T) {
+	lq, cq := QuantTable(75), ChromaQuantTable(75)
+	// Chroma quantization is coarser in the high frequencies.
+	if cq[63] < lq[63] {
+		t.Fatalf("chroma high-freq quant %d finer than luma %d", cq[63], lq[63])
+	}
+	for i, v := range cq {
+		if v < 1 || v > 255 {
+			t.Fatalf("chroma quant[%d]=%d", i, v)
+		}
+	}
+}
+
+func TestDecodeColorRejectsGarbage(t *testing.T) {
+	for _, raw := range [][]byte{
+		{},
+		{0xff, 0xd8, 0xff, 0xd9},
+		{0xff, 0xd8, 0xff, 0xc0, 0x00, 0x02},
+	} {
+		if _, err := DecodeColorFile(bytes.NewReader(raw)); err == nil {
+			t.Fatalf("garbage accepted: %x", raw)
+		}
+	}
+}
+
+func FuzzDecodeColorFile(f *testing.F) {
+	im, _ := SyntheticRGB(PatternCircle, 16, 16)
+	var buf bytes.Buffer
+	if err := EncodeColorFile(&buf, im, 70); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		im, err := DecodeColorFile(bytes.NewReader(data))
+		if err == nil && (im.W <= 0 || im.H <= 0 || len(im.Pix) != 3*im.W*im.H) {
+			t.Fatalf("parsed color image with bad geometry: %dx%d", im.W, im.H)
+		}
+	})
+}

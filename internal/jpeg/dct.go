@@ -1,0 +1,77 @@
+package jpeg
+
+import "math"
+
+// dctSize2 is the number of samples in one block (DCTSIZE2 in libjpeg).
+const dctSize2 = 64
+
+// cosTable[u][x] = cos((2x+1)uπ/16), precomputed once.
+var cosTable [8][8]float64
+
+func init() {
+	for u := 0; u < 8; u++ {
+		for x := 0; x < 8; x++ {
+			cosTable[u][x] = math.Cos(float64(2*x+1) * float64(u) * math.Pi / 16)
+		}
+	}
+}
+
+func alpha(u int) float64 {
+	if u == 0 {
+		return 1 / math.Sqrt2
+	}
+	return 1
+}
+
+// FDCT computes the 8×8 forward type-II DCT of a (level-shifted) sample
+// block, in row-major order.
+func FDCT(in *[dctSize2]float64) [dctSize2]float64 {
+	var tmp, out [dctSize2]float64
+	// Rows.
+	for y := 0; y < 8; y++ {
+		for u := 0; u < 8; u++ {
+			var s float64
+			for x := 0; x < 8; x++ {
+				s += in[y*8+x] * cosTable[u][x]
+			}
+			tmp[y*8+u] = s * alpha(u) / 2
+		}
+	}
+	// Columns.
+	for u := 0; u < 8; u++ {
+		for v := 0; v < 8; v++ {
+			var s float64
+			for y := 0; y < 8; y++ {
+				s += tmp[y*8+u] * cosTable[v][y]
+			}
+			out[v*8+u] = s * alpha(v) / 2
+		}
+	}
+	return out
+}
+
+// IDCT inverts FDCT.
+func IDCT(in *[dctSize2]float64) [dctSize2]float64 {
+	var tmp, out [dctSize2]float64
+	// Columns.
+	for u := 0; u < 8; u++ {
+		for y := 0; y < 8; y++ {
+			var s float64
+			for v := 0; v < 8; v++ {
+				s += alpha(v) * in[v*8+u] * cosTable[v][y]
+			}
+			tmp[y*8+u] = s / 2
+		}
+	}
+	// Rows.
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			var s float64
+			for u := 0; u < 8; u++ {
+				s += alpha(u) * tmp[y*8+u] * cosTable[u][x]
+			}
+			out[y*8+x] = s / 2
+		}
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package jpeg
+
+import (
+	"fmt"
+	"math"
+)
+
+// maxCoefBits is MAX_COEF_BITS for 8-bit baseline JPEG: AC magnitudes fit
+// in 10 bits (DC differences in 11).
+const maxCoefBits = 10
+
+// Hooks fire inside encode_one_block exactly where libjpeg's Listing-1
+// gadget touches its leaky variables: ZeroCoef when the run-length counter
+// r is incremented (zero coefficient, line 6), NonzeroCoef when nbits is
+// computed and range-checked (non-zero coefficient, line 10).
+type Hooks struct {
+	BlockStart  func(bx, by int)
+	ZeroCoef    func(k int)
+	NonzeroCoef func(k, nbits int)
+}
+
+func (h *Hooks) blockStart(bx, by int) {
+	if h != nil && h.BlockStart != nil {
+		h.BlockStart(bx, by)
+	}
+}
+func (h *Hooks) zero(k int) {
+	if h != nil && h.ZeroCoef != nil {
+		h.ZeroCoef(k)
+	}
+}
+func (h *Hooks) nonzero(k, nbits int) {
+	if h != nil && h.NonzeroCoef != nil {
+		h.NonzeroCoef(k, nbits)
+	}
+}
+
+// Encoder compresses grayscale images with baseline JPEG entropy coding.
+type Encoder struct {
+	Quality int // IJG quality factor, default 75
+	Hooks   *Hooks
+}
+
+// Result carries the entropy-coded segment plus the quantized coefficient
+// blocks (for oracle comparison in the case studies).
+type Result struct {
+	W, H    int
+	Quality int
+	Data    []byte
+	// Blocks holds quantized coefficients in row-major (natural) order,
+	// one entry per 8×8 block, blocks in raster order.
+	Blocks [][dctSize2]int
+}
+
+// QuantizeBlock level-shifts, transforms and quantizes one 8×8 tile of
+// the image at block coordinates (bx, by).
+func QuantizeBlock(im *Image, bx, by int, quant *[dctSize2]int) [dctSize2]int {
+	var samples [dctSize2]float64
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			samples[y*8+x] = float64(im.At(bx*8+x, by*8+y)) - 128
+		}
+	}
+	coefs := FDCT(&samples)
+	var out [dctSize2]int
+	for i := 0; i < dctSize2; i++ {
+		out[i] = int(math.Round(coefs[i] / float64(quant[i])))
+	}
+	return out
+}
+
+// Encode compresses the image, firing hooks per coefficient.
+func (e *Encoder) Encode(im *Image) (*Result, error) {
+	q := e.Quality
+	if q == 0 {
+		q = 75
+	}
+	quant := QuantTable(q)
+	res := &Result{W: im.W, H: im.H, Quality: q}
+	w := &bitWriter{}
+	lastDC := 0
+	for by := 0; by < im.BlocksHigh(); by++ {
+		for bx := 0; bx < im.BlocksWide(); bx++ {
+			e.Hooks.blockStart(bx, by)
+			block := QuantizeBlock(im, bx, by, &quant)
+			res.Blocks = append(res.Blocks, block)
+			var err error
+			lastDC, err = e.encodeOneBlock(w, &block, lastDC)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	res.Data = w.flush()
+	return res, nil
+}
+
+// encodeOneBlock is the Listing 1 gadget: libjpeg's Huffman entropy
+// encoder for one block. The zero branch increments the run counter r;
+// the non-zero branch computes nbits and checks it against MAX_COEF_BITS.
+func (e *Encoder) encodeOneBlock(w *bitWriter, block *[dctSize2]int, lastDC int) (int, error) {
+	// DC coefficient: difference coding.
+	dc := block[0]
+	diff := dc - lastDC
+	nbits, bits := magnitudeBits(diff)
+	if nbits > maxCoefBits+1 {
+		return 0, fmt.Errorf("jpeg: DC difference out of range")
+	}
+	w.write(dcTable.code[nbits], dcTable.size[nbits])
+	if nbits > 0 {
+		w.write(bits, nbits)
+	}
+
+	// Encode the AC coefficients (the leaky loop).
+	r := 0
+	for k := 1; k < dctSize2; k++ {
+		if block[jpegNaturalOrder[k]] == 0 {
+			r++ // touches r's page
+			e.Hooks.zero(k)
+		} else {
+			for r > 15 {
+				w.write(acTable.code[0xf0], acTable.size[0xf0]) // ZRL
+				r -= 16
+			}
+			v := block[jpegNaturalOrder[k]]
+			nbits, bits := magnitudeBits(v)
+			e.Hooks.nonzero(k, int(nbits)) // touches nbits's page
+			// Check for out-of-range coefficient.
+			if int(nbits) > maxCoefBits {
+				return 0, fmt.Errorf("jpeg: AC coefficient %d out of range", v)
+			}
+			sym := byte(r<<4) | nbits
+			w.write(acTable.code[sym], acTable.size[sym])
+			w.write(bits, nbits)
+			r = 0
+		}
+	}
+	if r > 0 {
+		w.write(acTable.code[0x00], acTable.size[0x00]) // EOB
+	}
+	return dc, nil
+}

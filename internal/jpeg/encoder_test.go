@@ -1,0 +1,151 @@
+package jpeg
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// encodeSingle runs encode_one_block on a hand-built coefficient block
+// and decodes it back.
+func encodeSingle(t *testing.T, block [dctSize2]int) [dctSize2]int {
+	t.Helper()
+	e := &Encoder{}
+	w := &bitWriter{}
+	if _, err := e.encodeOneBlock(w, &block, 0); err != nil {
+		t.Fatal(err)
+	}
+	res := &Result{W: 8, H: 8, Quality: 75, Data: w.flush()}
+	blocks, err := DecodeBlocks(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blocks[0]
+}
+
+func TestEncodeOneBlockZRLRuns(t *testing.T) {
+	// A coefficient 40 zigzag positions after the last non-zero forces two
+	// ZRL (16-zero-run) symbols — the encoder branch plain images rarely hit.
+	var block [dctSize2]int
+	block[0] = 5
+	block[jpegNaturalOrder[1]] = 3
+	block[jpegNaturalOrder[42]] = -7
+	if got := encodeSingle(t, block); got != block {
+		t.Fatalf("ZRL round trip mismatch:\n%v\n%v", got, block)
+	}
+}
+
+func TestEncodeOneBlockTrailingEOB(t *testing.T) {
+	var block [dctSize2]int
+	block[0] = -100
+	block[jpegNaturalOrder[1]] = 1
+	if got := encodeSingle(t, block); got != block {
+		t.Fatal("EOB round trip mismatch")
+	}
+}
+
+func TestEncodeOneBlockAllZero(t *testing.T) {
+	var block [dctSize2]int
+	if got := encodeSingle(t, block); got != block {
+		t.Fatal("all-zero block mismatch")
+	}
+}
+
+func TestEncodeOneBlockMaxMagnitudes(t *testing.T) {
+	var block [dctSize2]int
+	block[0] = 1023
+	block[jpegNaturalOrder[1]] = -1023
+	block[jpegNaturalOrder[63]] = 1023
+	if got := encodeSingle(t, block); got != block {
+		t.Fatal("max-magnitude round trip mismatch")
+	}
+}
+
+func TestEncodeOneBlockOutOfRangeCoefficient(t *testing.T) {
+	var block [dctSize2]int
+	block[jpegNaturalOrder[1]] = 2000 // needs 11 bits > MAX_COEF_BITS
+	e := &Encoder{}
+	w := &bitWriter{}
+	if _, err := e.encodeOneBlock(w, &block, 0); err == nil {
+		t.Fatal("accepted out-of-range AC coefficient")
+	}
+}
+
+// Property: any block of in-range coefficients round-trips exactly
+// through encode_one_block + entropy decode.
+func TestQuickEncodeOneBlockRoundTrip(t *testing.T) {
+	f := func(raw [dctSize2]int16) bool {
+		var block [dctSize2]int
+		for i, v := range raw {
+			block[i] = int(v) % 1024 // clamp into the 10-bit AC range
+		}
+		e := &Encoder{}
+		w := &bitWriter{}
+		if _, err := e.encodeOneBlock(w, &block, 0); err != nil {
+			return false
+		}
+		res := &Result{W: 8, H: 8, Quality: 75, Data: w.flush()}
+		blocks, err := DecodeBlocks(res)
+		if err != nil {
+			return false
+		}
+		return blocks[0] == block
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Fuzz-ish robustness: decoding arbitrary bytes must error or terminate,
+// never panic or loop.
+func TestDecodeRandomBytesNoPanic(t *testing.T) {
+	f := func(junk []byte) bool {
+		res := &Result{W: 16, H: 16, Quality: 75, Data: junk}
+		defer func() {
+			if recover() != nil {
+				t.Fatal("decoder panicked on junk input")
+			}
+		}()
+		_, _ = DecodeBlocks(res)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDCDifferenceChaining(t *testing.T) {
+	// Two blocks with different DCs: the decoder must undo difference
+	// coding across blocks.
+	e := &Encoder{}
+	w := &bitWriter{}
+	var b1, b2 [dctSize2]int
+	b1[0] = 100
+	b2[0] = -50
+	last, err := e.encodeOneBlock(w, &b1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.encodeOneBlock(w, &b2, last); err != nil {
+		t.Fatal(err)
+	}
+	res := &Result{W: 16, H: 8, Quality: 75, Data: w.flush()}
+	blocks, err := DecodeBlocks(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocks[0][0] != 100 || blocks[1][0] != -50 {
+		t.Fatalf("DC chain decoded as %d, %d", blocks[0][0], blocks[1][0])
+	}
+}
+
+func TestEncoderErrorMentionsPackage(t *testing.T) {
+	var block [dctSize2]int
+	block[jpegNaturalOrder[2]] = 5000
+	e := &Encoder{}
+	w := &bitWriter{}
+	_, err := e.encodeOneBlock(w, &block, 0)
+	if err == nil || !strings.HasPrefix(err.Error(), "jpeg:") {
+		t.Fatalf("error style: %v", err)
+	}
+}

@@ -1,0 +1,66 @@
+package jpeg
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Native fuzz targets for the parser-shaped surfaces. Under plain `go
+// test` they run the seed corpus; `go test -fuzz=FuzzX` explores further.
+
+func FuzzDecodeFile(f *testing.F) {
+	// Seed with a valid file and a few mutations.
+	im, _ := Synthetic(PatternCircle, 16, 16)
+	var buf bytes.Buffer
+	if err := (&Encoder{Quality: 75}).EncodeFile(&buf, im); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte{0xff, 0xd8, 0xff, 0xd9})
+	f.Add([]byte{})
+	trunc := append([]byte{}, valid[:len(valid)/2]...)
+	f.Add(trunc)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Must never panic; errors are fine. If it parses, the image must
+		// have sane dimensions.
+		im, err := DecodeFile(bytes.NewReader(data))
+		if err == nil && (im.W <= 0 || im.H <= 0 || len(im.Pix) != im.W*im.H) {
+			t.Fatalf("parsed image with bad geometry: %dx%d", im.W, im.H)
+		}
+	})
+}
+
+func FuzzReadPGM(f *testing.F) {
+	im, _ := Synthetic(PatternStripes, 8, 8)
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, im); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("P5\n1 1\n255\nX"))
+	f.Add([]byte("P5 # c\n2 2\n15\nabcd"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		im, err := ReadPGM(bytes.NewReader(data))
+		if err == nil && (im.W <= 0 || im.H <= 0 || len(im.Pix) != im.W*im.H) {
+			t.Fatalf("parsed PGM with bad geometry: %dx%d", im.W, im.H)
+		}
+	})
+}
+
+func FuzzEntropyDecode(f *testing.F) {
+	im, _ := Synthetic(PatternChecker, 16, 16)
+	res, err := (&Encoder{Quality: 60}).Encode(im)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(res.Data)
+	f.Add([]byte{0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := &Result{W: 16, H: 16, Quality: 60, Data: data}
+		blocks, err := DecodeBlocks(r)
+		if err == nil && len(blocks) != 4 {
+			t.Fatalf("decoded %d blocks for a 4-block image", len(blocks))
+		}
+	})
+}

@@ -1,0 +1,143 @@
+package jpeg
+
+import "fmt"
+
+// huffTable is a canonical Huffman code table built from an Annex-C
+// (counts, values) specification.
+type huffTable struct {
+	code map[byte]uint32 // symbol -> code (MSB-aligned within size bits)
+	size map[byte]uint8  // symbol -> code length in bits
+	// decode lookup: (length, code) -> symbol
+	dec map[uint32]byte // key = length<<24 | code
+}
+
+// buildHuff derives canonical codes per ITU-T T.81 Annex C.
+func buildHuff(counts [16]int, values []byte) *huffTable {
+	t := &huffTable{
+		code: make(map[byte]uint32),
+		size: make(map[byte]uint8),
+		dec:  make(map[uint32]byte),
+	}
+	code := uint32(0)
+	vi := 0
+	for l := 1; l <= 16; l++ {
+		for k := 0; k < counts[l-1]; k++ {
+			sym := values[vi]
+			vi++
+			t.code[sym] = code
+			t.size[sym] = uint8(l)
+			t.dec[uint32(l)<<24|code] = sym
+			code++
+		}
+		code <<= 1
+	}
+	return t
+}
+
+var dcTable = buildHuff(dcLumCounts, dcLumValues)
+var acTable = buildHuff(acLumCounts, acLumValues)
+
+// bitWriter accumulates an entropy-coded segment MSB-first.
+type bitWriter struct {
+	buf  []byte
+	acc  uint32
+	bits uint
+}
+
+func (w *bitWriter) write(code uint32, n uint8) {
+	w.acc = w.acc<<n | (code & (1<<n - 1))
+	w.bits += uint(n)
+	for w.bits >= 8 {
+		w.bits -= 8
+		w.buf = append(w.buf, byte(w.acc>>w.bits))
+	}
+}
+
+// flush pads the final partial byte with 1-bits (T.81 §F.1.2.3).
+func (w *bitWriter) flush() []byte {
+	if w.bits > 0 {
+		pad := 8 - w.bits
+		w.acc = w.acc<<pad | (1<<pad - 1)
+		w.buf = append(w.buf, byte(w.acc))
+		w.bits = 0
+	}
+	return w.buf
+}
+
+// bitReader consumes an entropy-coded segment MSB-first.
+type bitReader struct {
+	buf  []byte
+	pos  int
+	acc  uint32
+	bits uint
+}
+
+func (r *bitReader) readBit() (uint32, error) {
+	if r.bits == 0 {
+		if r.pos >= len(r.buf) {
+			return 0, fmt.Errorf("jpeg: bitstream exhausted")
+		}
+		r.acc = uint32(r.buf[r.pos])
+		r.pos++
+		r.bits = 8
+	}
+	r.bits--
+	return (r.acc >> r.bits) & 1, nil
+}
+
+func (r *bitReader) readBits(n uint8) (uint32, error) {
+	var v uint32
+	for i := uint8(0); i < n; i++ {
+		b, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | b
+	}
+	return v, nil
+}
+
+// decodeSymbol walks the canonical code table bit by bit.
+func (r *bitReader) decodeSymbol(t *huffTable) (byte, error) {
+	var code uint32
+	for l := uint32(1); l <= 16; l++ {
+		b, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		code = code<<1 | b
+		if sym, ok := t.dec[l<<24|code]; ok {
+			return sym, nil
+		}
+	}
+	return 0, fmt.Errorf("jpeg: invalid Huffman code")
+}
+
+// magnitudeBits returns (nbits, appended bits) for a coefficient value
+// per T.81 §F.1.2.1: nbits is the category, and negative values are coded
+// as value-1 in nbits bits.
+func magnitudeBits(v int) (uint8, uint32) {
+	nbits := uint8(0)
+	a := v
+	if a < 0 {
+		a = -a
+	}
+	for t := a; t > 0; t >>= 1 {
+		nbits++
+	}
+	if v < 0 {
+		v--
+	}
+	return nbits, uint32(v) & (1<<nbits - 1)
+}
+
+// extend inverts magnitudeBits per T.81 §F.2.2.1.
+func extend(v uint32, nbits uint8) int {
+	if nbits == 0 {
+		return 0
+	}
+	if v < 1<<(nbits-1) {
+		return int(v) - (1 << nbits) + 1
+	}
+	return int(v)
+}

@@ -1,0 +1,186 @@
+// Package jpeg is a from-scratch baseline JPEG (ITU-T T.81) grayscale
+// codec: forward/inverse DCT, quality-scaled quantization, zigzag
+// ordering, and Annex-K Huffman entropy coding, including a bit-exact
+// reimplementation of libjpeg's encode_one_block() entropy loop — the
+// Listing 1 gadget whose zero/non-zero coefficient branches MetaLeak
+// observes.
+//
+// The codec is real: Encode produces a decodable entropy stream and Decode
+// inverts it (tests round-trip through both). The Hooks fire exactly where
+// libjpeg touches the run-length counter r (zero coefficient) and the
+// magnitude variable nbits (non-zero coefficient), letting the victim
+// layer pin those two variables to distinct simulated pages.
+package jpeg
+
+import "fmt"
+
+// Image is an 8-bit grayscale image.
+type Image struct {
+	W, H int
+	Pix  []uint8
+}
+
+// NewImage allocates a black image.
+func NewImage(w, h int) *Image {
+	return &Image{W: w, H: h, Pix: make([]uint8, w*h)}
+}
+
+// At returns the pixel at (x, y); out-of-range coordinates clamp to the
+// edge (the block padding rule used by encoders).
+func (im *Image) At(x, y int) uint8 {
+	if x < 0 {
+		x = 0
+	}
+	if y < 0 {
+		y = 0
+	}
+	if x >= im.W {
+		x = im.W - 1
+	}
+	if y >= im.H {
+		y = im.H - 1
+	}
+	return im.Pix[y*im.W+x]
+}
+
+// Set writes the pixel at (x, y); out-of-range coordinates are ignored.
+func (im *Image) Set(x, y int, v uint8) {
+	if x < 0 || y < 0 || x >= im.W || y >= im.H {
+		return
+	}
+	im.Pix[y*im.W+x] = v
+}
+
+// BlocksWide returns the number of 8-pixel block columns.
+func (im *Image) BlocksWide() int { return (im.W + 7) / 8 }
+
+// BlocksHigh returns the number of 8-pixel block rows.
+func (im *Image) BlocksHigh() int { return (im.H + 7) / 8 }
+
+// ASCII renders the image as character art (darker pixels → denser
+// glyphs), for terminal display in examples.
+func (im *Image) ASCII(cols int) string {
+	if cols <= 0 || cols > im.W {
+		cols = im.W
+	}
+	ramp := []byte(" .:-=+*#%@")
+	sx := im.W / cols
+	if sx < 1 {
+		sx = 1
+	}
+	sy := sx * 2 // terminal cells are ~2x taller than wide
+	out := make([]byte, 0, (im.W/sx+1)*(im.H/sy+1))
+	for y := 0; y < im.H; y += sy {
+		for x := 0; x < im.W; x += sx {
+			// Average the cell.
+			var sum, n int
+			for dy := 0; dy < sy && y+dy < im.H; dy++ {
+				for dx := 0; dx < sx && x+dx < im.W; dx++ {
+					sum += int(im.At(x+dx, y+dy))
+					n++
+				}
+			}
+			v := sum / n
+			out = append(out, ramp[(255-v)*(len(ramp)-1)/255])
+		}
+		out = append(out, '\n')
+	}
+	return string(out)
+}
+
+// SyntheticKind names a generated test pattern.
+type SyntheticKind string
+
+// Synthetic image kinds used by tests, examples, and the Fig. 15
+// experiment (stand-ins for the paper's input photographs).
+const (
+	PatternGradient SyntheticKind = "gradient"
+	PatternCircle   SyntheticKind = "circle"
+	PatternStripes  SyntheticKind = "stripes"
+	PatternChecker  SyntheticKind = "checker"
+	PatternText     SyntheticKind = "text"
+)
+
+// Synthetic generates a deterministic test image.
+func Synthetic(kind SyntheticKind, w, h int) (*Image, error) {
+	im := NewImage(w, h)
+	switch kind {
+	case PatternGradient:
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				im.Set(x, y, uint8((x*255/max(1, w-1)+y*255/max(1, h-1))/2))
+			}
+		}
+	case PatternCircle:
+		cx, cy := w/2, h/2
+		r2 := (min(w, h) / 3) * (min(w, h) / 3)
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				d := (x-cx)*(x-cx) + (y-cy)*(y-cy)
+				if d < r2 {
+					im.Set(x, y, 230)
+				} else {
+					im.Set(x, y, 30)
+				}
+			}
+		}
+	case PatternStripes:
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				if (x/6)%2 == 0 {
+					im.Set(x, y, 220)
+				} else {
+					im.Set(x, y, 40)
+				}
+			}
+		}
+	case PatternChecker:
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				if (x/8+y/8)%2 == 0 {
+					im.Set(x, y, 235)
+				} else {
+					im.Set(x, y, 20)
+				}
+			}
+		}
+	case PatternText:
+		// Block letters "ML" drawn with rectangles.
+		fill := func(x0, y0, x1, y1 int) {
+			for y := y0; y < y1; y++ {
+				for x := x0; x < x1; x++ {
+					im.Set(x, y, 240)
+				}
+			}
+		}
+		for i := range im.Pix {
+			im.Pix[i] = 25
+		}
+		uw := w / 10
+		// M
+		fill(uw, h/5, 2*uw, 4*h/5)
+		fill(3*uw, h/5, 4*uw, 4*h/5)
+		fill(uw, h/5, 4*uw, h/5+h/8)
+		fill(2*uw+uw/2-uw/4, h/5, 2*uw+uw/2+uw/4, 3*h/5)
+		// L
+		fill(6*uw, h/5, 7*uw, 4*h/5)
+		fill(6*uw, 4*h/5-h/8, 9*uw, 4*h/5)
+	default:
+		return nil, fmt.Errorf("jpeg: unknown synthetic pattern %q", kind)
+	}
+	return im, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

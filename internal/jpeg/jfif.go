@@ -1,0 +1,227 @@
+package jpeg
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+)
+
+// JFIF container support: EncodeFile wraps the entropy-coded segment in a
+// standard baseline JPEG file (SOI/APP0/DQT/SOF0/DHT/SOS/EOI with 0xFF
+// byte stuffing), so the victim's output is a real image any viewer
+// opens; DecodeFile reads the files this package writes (single-component
+// baseline with the Annex-K tables), closing the loop for tests.
+
+// jpegMarkers used by the writer/reader.
+const (
+	mSOI  = 0xd8
+	mEOI  = 0xd9
+	mAPP0 = 0xe0
+	mDQT  = 0xdb
+	mSOF0 = 0xc0
+	mDHT  = 0xc4
+	mSOS  = 0xda
+)
+
+// EncodeFile compresses the image and writes a complete JFIF file.
+func (e *Encoder) EncodeFile(w io.Writer, im *Image) error {
+	res, err := e.Encode(im)
+	if err != nil {
+		return err
+	}
+	return WriteJFIF(w, res)
+}
+
+// WriteJFIF serializes an encode Result as a JFIF file.
+func WriteJFIF(w io.Writer, res *Result) error {
+	var buf bytes.Buffer
+	marker := func(m byte) { buf.Write([]byte{0xff, m}) }
+	segment := func(m byte, payload []byte) {
+		marker(m)
+		n := len(payload) + 2
+		buf.WriteByte(byte(n >> 8))
+		buf.WriteByte(byte(n))
+		buf.Write(payload)
+	}
+
+	marker(mSOI)
+	// APP0 "JFIF" v1.1, no density, no thumbnail.
+	segment(mAPP0, []byte{'J', 'F', 'I', 'F', 0, 1, 1, 0, 0, 1, 0, 1, 0, 0})
+	// DQT: table 0, 8-bit precision, in zigzag order.
+	quant := QuantTable(res.Quality)
+	dqt := make([]byte, 1+dctSize2)
+	for k := 0; k < dctSize2; k++ {
+		dqt[1+k] = byte(quant[jpegNaturalOrder[k]])
+	}
+	segment(mDQT, dqt)
+	// SOF0: baseline, 8-bit, single component (id 1, 1x1 sampling, Tq 0).
+	sof := []byte{
+		8,
+		byte(res.H >> 8), byte(res.H),
+		byte(res.W >> 8), byte(res.W),
+		1,
+		1, 0x11, 0,
+	}
+	segment(mSOF0, sof)
+	// DHT: DC table class 0 id 0, AC table class 1 id 0 (Annex K).
+	dht := []byte{0x00}
+	for _, c := range dcLumCounts {
+		dht = append(dht, byte(c))
+	}
+	dht = append(dht, dcLumValues...)
+	dht = append(dht, 0x10)
+	for _, c := range acLumCounts {
+		dht = append(dht, byte(c))
+	}
+	dht = append(dht, acLumValues...)
+	segment(mDHT, dht)
+	// SOS: one component, DC/AC table 0, full spectral range.
+	segment(mSOS, []byte{1, 1, 0x00, 0, 63, 0})
+	// Entropy data with byte stuffing: 0xFF -> 0xFF 0x00.
+	for _, b := range res.Data {
+		buf.WriteByte(b)
+		if b == 0xff {
+			buf.WriteByte(0x00)
+		}
+	}
+	marker(mEOI)
+
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// DecodeFile reads a JFIF file written by this package and returns the
+// decoded image. It validates the structure it depends on (baseline,
+// single component, the Annex-K Huffman tables) and rejects anything else.
+func DecodeFile(r io.Reader) (*Image, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < 4 || data[0] != 0xff || data[1] != mSOI {
+		return nil, fmt.Errorf("jpeg: missing SOI")
+	}
+	pos := 2
+	var res Result
+	var quant [dctSize2]int
+	haveSOF, haveDQT := false, false
+	for pos+4 <= len(data) {
+		if data[pos] != 0xff {
+			return nil, fmt.Errorf("jpeg: expected marker at %d", pos)
+		}
+		m := data[pos+1]
+		if m == mEOI {
+			return nil, fmt.Errorf("jpeg: EOI before SOS")
+		}
+		segLen := int(data[pos+2])<<8 | int(data[pos+3])
+		if segLen < 2 {
+			return nil, fmt.Errorf("jpeg: segment %#x with invalid length %d", m, segLen)
+		}
+		if pos+2+segLen > len(data) {
+			return nil, fmt.Errorf("jpeg: truncated segment %#x", m)
+		}
+		payload := data[pos+4 : pos+2+segLen]
+		switch m {
+		case mAPP0:
+			// informational only
+		case mDQT:
+			if len(payload) != 1+dctSize2 || payload[0] != 0 {
+				return nil, fmt.Errorf("jpeg: unsupported DQT")
+			}
+			for k := 0; k < dctSize2; k++ {
+				quant[jpegNaturalOrder[k]] = int(payload[1+k])
+			}
+			haveDQT = true
+		case mSOF0:
+			if len(payload) != 9 || payload[0] != 8 || payload[5] != 1 {
+				return nil, fmt.Errorf("jpeg: unsupported SOF0 (baseline single-component only)")
+			}
+			res.H = int(payload[1])<<8 | int(payload[2])
+			res.W = int(payload[3])<<8 | int(payload[4])
+			if res.W <= 0 || res.H <= 0 || res.W*res.H > 1<<24 {
+				return nil, fmt.Errorf("jpeg: unreasonable dimensions %dx%d", res.W, res.H)
+			}
+			haveSOF = true
+		case mDHT:
+			// The reader relies on the Annex-K tables; verify the file
+			// carries exactly them.
+			want := []byte{0x00}
+			for _, c := range dcLumCounts {
+				want = append(want, byte(c))
+			}
+			want = append(want, dcLumValues...)
+			want = append(want, 0x10)
+			for _, c := range acLumCounts {
+				want = append(want, byte(c))
+			}
+			want = append(want, acLumValues...)
+			if !bytes.Equal(payload, want) {
+				return nil, fmt.Errorf("jpeg: non-standard Huffman tables")
+			}
+		case mSOS:
+			if !haveSOF || !haveDQT {
+				return nil, fmt.Errorf("jpeg: SOS before SOF/DQT")
+			}
+			// De-stuff the entropy data up to EOI.
+			body := data[pos+2+segLen:]
+			var ecs []byte
+			for i := 0; i < len(body); i++ {
+				if body[i] != 0xff {
+					ecs = append(ecs, body[i])
+					continue
+				}
+				if i+1 < len(body) && body[i+1] == 0x00 {
+					ecs = append(ecs, 0xff)
+					i++
+					continue
+				}
+				if i+1 >= len(body) {
+					return nil, fmt.Errorf("jpeg: scan ends in a bare 0xFF")
+				}
+				if body[i+1] == mEOI {
+					res.Data = ecs
+					return decodeWithQuant(&res, &quant)
+				}
+				return nil, fmt.Errorf("jpeg: unexpected marker %#x in scan", body[i+1])
+			}
+			return nil, fmt.Errorf("jpeg: missing EOI")
+		default:
+			return nil, fmt.Errorf("jpeg: unsupported marker %#x", m)
+		}
+		pos += 2 + segLen
+	}
+	return nil, fmt.Errorf("jpeg: no SOS segment")
+}
+
+// decodeWithQuant entropy-decodes and renders with an explicit table
+// (the file's DQT rather than a quality factor).
+func decodeWithQuant(res *Result, quant *[dctSize2]int) (*Image, error) {
+	res.Quality = 0 // not used below
+	blocks, err := DecodeBlocks(res)
+	if err != nil {
+		return nil, err
+	}
+	im := NewImage(res.W, res.H)
+	bw := (res.W + 7) / 8
+	for i, block := range blocks {
+		bx, by := i%bw, i/bw
+		var coefs [dctSize2]float64
+		for j := 0; j < dctSize2; j++ {
+			coefs[j] = float64(block[j] * quant[j])
+		}
+		samples := IDCT(&coefs)
+		for y := 0; y < 8; y++ {
+			for x := 0; x < 8; x++ {
+				v := samples[y*8+x] + 128
+				if v < 0 {
+					v = 0
+				}
+				if v > 255 {
+					v = 255
+				}
+				im.Set(bx*8+x, by*8+y, uint8(v))
+			}
+		}
+	}
+	return im, nil
+}

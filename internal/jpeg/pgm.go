@@ -1,0 +1,89 @@
+package jpeg
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WritePGM serializes the image as binary PGM (P5), the format cmd/mktrace
+// emits and external tools read.
+func WritePGM(w io.Writer, im *Image) error {
+	if _, err := fmt.Fprintf(w, "P5\n%d %d\n255\n", im.W, im.H); err != nil {
+		return err
+	}
+	_, err := w.Write(im.Pix)
+	return err
+}
+
+// ReadPGM parses a binary PGM (P5) image, accepting the comments and
+// whitespace the format allows. It lets the examples and experiments run
+// the victims on user-supplied images instead of the synthetic patterns.
+func ReadPGM(r io.Reader) (*Image, error) {
+	br := bufio.NewReader(r)
+	magic, err := pgmToken(br)
+	if err != nil {
+		return nil, err
+	}
+	if magic != "P5" {
+		return nil, fmt.Errorf("jpeg: not a binary PGM (magic %q)", magic)
+	}
+	var dims [3]int
+	for i := range dims {
+		tok, err := pgmToken(br)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := fmt.Sscanf(tok, "%d", &dims[i]); err != nil {
+			return nil, fmt.Errorf("jpeg: bad PGM header token %q", tok)
+		}
+	}
+	w, h, maxv := dims[0], dims[1], dims[2]
+	if w <= 0 || h <= 0 || w*h > 1<<26 {
+		return nil, fmt.Errorf("jpeg: unreasonable PGM dimensions %dx%d", w, h)
+	}
+	if maxv <= 0 || maxv > 255 {
+		return nil, fmt.Errorf("jpeg: unsupported PGM maxval %d", maxv)
+	}
+	im := NewImage(w, h)
+	if _, err := io.ReadFull(br, im.Pix); err != nil {
+		return nil, fmt.Errorf("jpeg: short PGM pixel data: %w", err)
+	}
+	if maxv != 255 {
+		for i, v := range im.Pix {
+			im.Pix[i] = uint8(int(v) * 255 / maxv)
+		}
+	}
+	return im, nil
+}
+
+// pgmToken returns the next whitespace-delimited token, skipping
+// '#' comments. The final whitespace after the maxval token is consumed,
+// as the format requires.
+func pgmToken(br *bufio.Reader) (string, error) {
+	tok := make([]byte, 0, 8)
+	inComment := false
+	for {
+		c, err := br.ReadByte()
+		if err != nil {
+			if err == io.EOF && len(tok) > 0 {
+				return string(tok), nil
+			}
+			return "", err
+		}
+		switch {
+		case inComment:
+			if c == '\n' {
+				inComment = false
+			}
+		case c == '#':
+			inComment = true
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			if len(tok) > 0 {
+				return string(tok), nil
+			}
+		default:
+			tok = append(tok, c)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package machine
+
+import (
+	"fmt"
+
+	"metaleak/internal/arch"
+	"metaleak/internal/crypto"
+	"metaleak/internal/ctr"
+	"metaleak/internal/itree"
+)
+
+// buildScheme constructs the encryption counter scheme for a design point.
+func buildScheme(dp DesignPoint) ctr.Scheme {
+	switch dp.Counter {
+	case CounterSC, "":
+		return ctr.NewSC(ctr.SCConfig{MinorBits: dp.MinorBits})
+	case CounterMoC:
+		return ctr.NewMoC(ctr.MoCConfig{Bits: dp.MoCBits})
+	case CounterGC:
+		return ctr.NewGC(ctr.GCConfig{Bits: dp.GCBits})
+	default:
+		panic(fmt.Sprintf("machine: unknown counter scheme %q", dp.Counter))
+	}
+}
+
+// counterBlocksFor computes how many counter blocks the tree must cover
+// for the design point's secure region.
+func counterBlocksFor(dp DesignPoint) int {
+	dataBlocks := dp.SecurePages * arch.BlocksPerPage
+	switch dp.Counter {
+	case CounterSC, "":
+		return dp.SecurePages // one counter block per page
+	default:
+		return dataBlocks / 8 // eight 64-bit counters/snapshots per block
+	}
+}
+
+// buildTree constructs the integrity tree for a design point. The hasher
+// is a standalone engine with the same configuration the controller will
+// use, so tree hashes and controller hashes agree.
+func buildTree(dp DesignPoint, _ ctr.Scheme) itree.Tree {
+	h := crypto.New(crypto.Config{AESLatency: 20, HashLatency: dp.HashLat, Fast: dp.FastCrypto})
+	nCB := counterBlocksFor(dp)
+	switch dp.Tree {
+	case TreeSCT, "":
+		ar := dp.TreeArities
+		if ar == nil {
+			ar = []int{32, 16, 16, 16, 16, 16}
+		}
+		bits := dp.MinorBits
+		if bits == 0 {
+			bits = 7
+		}
+		cfg := itree.VTreeConfig{
+			Name: "SCT", Arities: ar, MinorBits: bits, CounterBlocks: nCB,
+		}
+		if dp.IsolatedDomains > 0 {
+			return itree.NewPartitioned(cfg, dp.IsolatedDomains, h)
+		}
+		return itree.NewVTree(cfg, h)
+	case TreeSIT:
+		ar := dp.TreeArities
+		if ar == nil {
+			ar = []int{8, 8, 8}
+		}
+		cfg := itree.VTreeConfig{
+			Name: "SIT", Arities: ar, MinorBits: 56, CounterBlocks: nCB,
+		}
+		if dp.IsolatedDomains > 0 {
+			return itree.NewPartitioned(cfg, dp.IsolatedDomains, h)
+		}
+		return itree.NewVTree(cfg, h)
+	case TreeHT:
+		if dp.IsolatedDomains > 0 {
+			panic("machine: isolated domains require a version tree (SCT/SIT)")
+		}
+		ar := dp.TreeArities
+		if ar == nil {
+			ar = []int{8, 8, 8, 8, 8, 8}
+		}
+		return itree.NewHTree(itree.HTreeConfig{Arities: ar, CounterBlocks: nCB}, h)
+	default:
+		panic(fmt.Sprintf("machine: unknown tree %q", dp.Tree))
+	}
+}

@@ -1,0 +1,267 @@
+// Package machine assembles complete simulated secure processors from
+// design points — the builder behind the public metaleak facade. It is a
+// reproduction of "MetaLeak: Uncovering Side
+// Channels in Secure Processor Architectures Exploiting Metadata"
+// (Chowdhuryy, Zheng, Yao — ISCA 2024) as a deterministic, cycle-level
+// secure-processor simulator plus the full attack framework.
+//
+// The package exposes:
+//
+//   - design points (DesignPoint / ConfigSCT, ConfigHT, ConfigSGX, and the
+//     §IV ablation variants) describing a complete secure processor;
+//   - NewSystem, which builds the simulated machine (cores, caches, secure
+//     memory controller, encryption counters, integrity tree);
+//   - the MetaLeak attack primitives and end-to-end attacks re-exported
+//     from the internal packages.
+//
+// All timing is simulated cycles — results are exactly reproducible and
+// independent of the host (Go's GC and runtime make wall-clock timing side
+// channels impractical, so the simulator is the faithful substrate; see
+// DESIGN.md).
+package machine
+
+import (
+	"metaleak/internal/arch"
+	"metaleak/internal/cache"
+	"metaleak/internal/crypto"
+	"metaleak/internal/dram"
+	"metaleak/internal/mirage"
+	"metaleak/internal/secmem"
+	"metaleak/internal/sim"
+)
+
+// CounterKind selects the encryption counter scheme of §IV-A.
+type CounterKind string
+
+// Counter schemes.
+const (
+	CounterGC  CounterKind = "GC"  // one global counter, whole-memory groups
+	CounterMoC CounterKind = "MoC" // one counter per block
+	CounterSC  CounterKind = "SC"  // split counters: major per page + 7-bit minors
+)
+
+// TreeKind selects the integrity tree design of §IV-C.
+type TreeKind string
+
+// Integrity trees.
+const (
+	TreeHT  TreeKind = "HT"  // 8-ary Bonsai Merkle hash tree
+	TreeSCT TreeKind = "SCT" // split-counter tree (VAULT-style)
+	TreeSIT TreeKind = "SIT" // SGX integrity tree (monolithic counters)
+)
+
+// DesignPoint describes one complete secure-processor configuration — the
+// simulator equivalent of a row in Table I.
+type DesignPoint struct {
+	Name string
+
+	Counter     CounterKind
+	MinorBits   uint // SC/SCT minor width (default 7)
+	MoCBits     uint // MoC counter width (default 56)
+	GCBits      uint // GC counter width (default 32)
+	Tree        TreeKind
+	TreeArities []int // stored-level fan-ins, leaf first
+
+	SecurePages int // size of the protected region, in pages
+
+	Cores int
+	// NoiseInterval enables background traffic: one jittered burst roughly
+	// every this many cycles (0 = off).
+	NoiseInterval arch.Cycles
+	NoisePages    int
+	Seed          uint64
+
+	// SGX marks the SGX calibration (slower EPC path latencies, privileged
+	// attacker model in the attack layer).
+	SGX bool
+
+	// Insecure builds the unprotected baseline: no encryption, MAC,
+	// counters, or integrity tree. Used by the overhead ablation.
+	Insecure bool
+
+	// SocketOf assigns cores to sockets (nil: single socket); cores off
+	// socket 0 pay a cross-socket hop to reach the shared LLC/MC.
+	SocketOf []int
+
+	// RandomizedMeta organizes the metadata cache as a MIRAGE instance
+	// (the §IX-B defence deployed): conflict-based mEvict becomes
+	// impossible; only volume-based eviction remains.
+	RandomizedMeta bool
+
+	// IsolatedDomains enables the §IX-C defence: the secure region is
+	// split into this many fixed per-core domains, each covered by its own
+	// integrity tree with a private on-chip root. Requires a version tree
+	// (SCT/SIT) and SecurePages divisible by the domain count.
+	IsolatedDomains int
+
+	// FastCrypto swaps AES/GHASH for fast keyed mixers. Functional
+	// properties (tamper detection) are preserved; use for very long
+	// sweeps only.
+	FastCrypto bool
+
+	// Latency model knobs (zero values select the calibrated defaults).
+	QueueDelay arch.Cycles
+	MACLatency arch.Cycles
+	MetaHit    arch.Cycles
+	HashLat    arch.Cycles
+	TreeStep   arch.Cycles
+	DRAM       dram.Config
+	MetaKB     int // metadata cache size (Table I: 256 KB)
+	MetaWays   int
+}
+
+// ConfigSCT returns the paper's primary simulated design: split-counter
+// encryption with a split-counter tree (VAULT), Table I top half.
+func ConfigSCT() DesignPoint {
+	return DesignPoint{
+		Name:        "SCT",
+		Counter:     CounterSC,
+		MinorBits:   7,
+		Tree:        TreeSCT,
+		TreeArities: []int{32, 16, 16, 16, 16, 16},
+		SecurePages: 1 << 24, // 64 GiB of protected memory
+		Cores:       4,
+		MetaKB:      256,
+		MetaWays:    8,
+	}
+}
+
+// ConfigHT returns the hash-tree design (Rogers et al. BMT), Table I.
+func ConfigHT() DesignPoint {
+	dp := ConfigSCT()
+	dp.Name = "HT"
+	dp.Tree = TreeHT
+	dp.TreeArities = []int{8, 8, 8, 8, 8, 8}
+	return dp
+}
+
+// ConfigSGX returns the SGX hardware calibration: 56-bit monolithic
+// encryption counters and the 8-ary 4-level SGX integrity tree over a
+// 128 MiB EPC, with the slower measured latency bands of Fig. 7.
+func ConfigSGX() DesignPoint {
+	return DesignPoint{
+		Name:        "SGX",
+		Counter:     CounterMoC,
+		MoCBits:     56,
+		Tree:        TreeSIT,
+		TreeArities: []int{8, 8, 8},
+		SecurePages: 1 << 15, // 128 MiB EPC
+		Cores:       4,
+		SGX:         true,
+		MetaKB:      64,
+		MetaWays:    8,
+		QueueDelay:  20,
+		MACLatency:  30,
+		HashLat:     40,
+		DRAM: func() dram.Config {
+			d := dram.DefaultConfig()
+			d.RowHit = 50
+			d.RowMiss = 70
+			d.RowConflict = 100
+			d.WriteLat = 50
+			return d
+		}(),
+	}
+}
+
+// System is the assembled machine: the simulator plus handles to its
+// parts and the design point that built it.
+type System struct {
+	*sim.System
+	DP   DesignPoint
+	Ctrl *secmem.Controller
+}
+
+// NewSystem builds the simulated secure processor for a design point.
+func NewSystem(dp DesignPoint) *System {
+	if dp.Cores == 0 {
+		dp.Cores = 4
+	}
+	if dp.SecurePages == 0 {
+		dp.SecurePages = 1 << 20
+	}
+	if dp.MetaKB == 0 {
+		dp.MetaKB = 256
+	}
+	if dp.MetaWays == 0 {
+		dp.MetaWays = 8
+	}
+	if dp.QueueDelay == 0 {
+		dp.QueueDelay = 10
+	}
+	if dp.MACLatency == 0 {
+		dp.MACLatency = 30
+	}
+	if dp.MetaHit == 0 {
+		dp.MetaHit = 2
+	}
+	if dp.HashLat == 0 {
+		dp.HashLat = 12
+	}
+	if dp.TreeStep == 0 {
+		dp.TreeStep = 30
+		if dp.SGX {
+			dp.TreeStep = 80
+		}
+	}
+	if dp.DRAM.Banks() == 0 {
+		dp.DRAM = dram.DefaultConfig()
+	}
+
+	scheme := buildScheme(dp)
+	tree := buildTree(dp, scheme)
+
+	mcCfg := secmem.Config{
+		DRAM: dp.DRAM,
+		Meta: cache.Config{
+			Name:       "meta",
+			SizeBytes:  dp.MetaKB * 1024,
+			Ways:       dp.MetaWays,
+			HitLatency: dp.MetaHit,
+			Seed:       dp.Seed + 77,
+		},
+		Engine: crypto.Config{
+			AESLatency:  20,
+			HashLatency: dp.HashLat,
+			Fast:        dp.FastCrypto,
+		},
+		QueueDelay:    dp.QueueDelay,
+		MACLatency:    dp.MACLatency,
+		TreeStepDelay: dp.TreeStep,
+		Plain:         dp.Insecure,
+	}
+	if dp.RandomizedMeta {
+		blocks := dp.MetaKB * 1024 / arch.BlockSize
+		mcCfg.RandomizedMeta = &mirage.Config{
+			DataBlocks: blocks,
+			Sets:       blocks / 16, // two skews of 8 base ways
+			BaseWays:   8,
+			ExtraWays:  6,
+			Seed:       dp.Seed + 99,
+		}
+	}
+	mc := secmem.New(mcCfg, scheme, tree)
+
+	l3Hit := arch.Cycles(29)
+	if dp.SGX {
+		l3Hit = 49
+	}
+	domainPages := 0
+	if dp.IsolatedDomains > 0 {
+		domainPages = dp.SecurePages / dp.IsolatedDomains
+	}
+	simCfg := sim.Config{
+		Cores:              dp.Cores,
+		L1:                 cache.Config{Name: "L1", SizeBytes: 32 * 1024, Ways: 8, HitLatency: 1},
+		L2:                 cache.Config{Name: "L2", SizeBytes: 1024 * 1024, Ways: 4, HitLatency: 10},
+		L3:                 cache.Config{Name: "L3", SizeBytes: 8 * 1024 * 1024, Ways: 16, HitLatency: l3Hit},
+		SecurePages:        dp.SecurePages,
+		DomainPages:        domainPages,
+		SocketOf:           dp.SocketOf,
+		CrossSocketLatency: 120,
+		NoiseInterval:      dp.NoiseInterval,
+		NoisePages:         dp.NoisePages,
+		Seed:               dp.Seed,
+	}
+	return &System{System: sim.New(simCfg, mc), DP: dp, Ctrl: mc}
+}

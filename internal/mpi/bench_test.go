@@ -1,0 +1,86 @@
+package mpi
+
+import (
+	"testing"
+
+	"metaleak/internal/arch"
+)
+
+func benchOperands(bits int) (Int, Int) {
+	rng := arch.NewRNG(42)
+	return Random(rng, bits), Random(rng, bits)
+}
+
+func BenchmarkMulBasecase256(b *testing.B) {
+	x, y := benchOperands(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.abs.mulBase(y.abs)
+	}
+}
+
+func BenchmarkMulKaratsuba2048(b *testing.B) {
+	x, y := benchOperands(2048)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.abs.mul(y.abs)
+	}
+}
+
+func BenchmarkSqr1024(b *testing.B) {
+	x, _ := benchOperands(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.Sqr()
+	}
+}
+
+func BenchmarkDivMod2048by1024(b *testing.B) {
+	x, _ := benchOperands(2048)
+	_, y := benchOperands(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = x.QuoRem(y)
+	}
+}
+
+func BenchmarkModExp512(b *testing.B) {
+	rng := arch.NewRNG(43)
+	base := Random(rng, 512)
+	exp := Random(rng, 512)
+	m := Random(rng, 512)
+	if !m.IsOdd() {
+		m = m.Add(New(1))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ModExp(base, exp, m, nil)
+	}
+}
+
+func BenchmarkModExpMont512(b *testing.B) {
+	rng := arch.NewRNG(43)
+	base := Random(rng, 512)
+	exp := Random(rng, 512)
+	m := Random(rng, 512)
+	if !m.IsOdd() {
+		m = m.Add(New(1))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ModExpMont(base, exp, m, nil)
+	}
+}
+
+func BenchmarkModInverse512(b *testing.B) {
+	rng := arch.NewRNG(44)
+	m := Random(rng, 512)
+	if !m.IsOdd() {
+		m = m.Add(New(1))
+	}
+	a := Random(rng, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = ModInverse(a, m, nil)
+	}
+}

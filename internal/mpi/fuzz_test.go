@@ -1,0 +1,71 @@
+package mpi
+
+import (
+	"math/big"
+	"testing"
+)
+
+// Native fuzz targets cross-checking the arithmetic against math/big on
+// arbitrary byte-derived operands.
+
+func FuzzDivMod(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, []byte{3, 1})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff}, []byte{1})
+	f.Add([]byte{}, []byte{7})
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		x, y := FromBytes(a), FromBytes(b)
+		if y.IsZero() {
+			return
+		}
+		q, r := x.QuoRem(y)
+		bq, br := new(big.Int).QuoRem(toBig(x), toBig(y), new(big.Int))
+		if toBig(q).Cmp(bq) != 0 || toBig(r).Cmp(br) != 0 {
+			t.Fatalf("divmod mismatch for %x / %x", a, b)
+		}
+	})
+}
+
+func FuzzMulKaratsuba(f *testing.F) {
+	f.Add(make([]byte, 70), make([]byte, 90))
+	f.Add([]byte{1}, []byte{2})
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		x, y := FromBytes(a), FromBytes(b)
+		got := x.Mul(y)
+		want := new(big.Int).Mul(toBig(x), toBig(y))
+		if toBig(got).Cmp(want) != 0 {
+			t.Fatalf("mul mismatch for %x * %x", a, b)
+		}
+	})
+}
+
+func FuzzModInverse(f *testing.F) {
+	f.Add([]byte{7}, []byte{11})
+	f.Add([]byte{2, 4, 6}, []byte{9, 9})
+	f.Fuzz(func(t *testing.T, a, m []byte) {
+		x, mod := FromBytes(a), FromBytes(m)
+		if mod.IsZero() {
+			return
+		}
+		inv, ok := ModInverse(x, mod, nil)
+		want := new(big.Int).ModInverse(toBig(x), toBig(mod))
+		if (want == nil) != !ok {
+			t.Fatalf("existence mismatch for %x mod %x", a, m)
+		}
+		if ok && toBig(inv).Cmp(want) != 0 {
+			t.Fatalf("inverse mismatch for %x mod %x", a, m)
+		}
+	})
+}
+
+func FuzzDecimal(f *testing.F) {
+	f.Add([]byte{0})
+	f.Add([]byte{9, 9, 9, 9, 9, 9, 9, 9, 9, 9})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		x := FromBytes(raw)
+		s := x.Decimal()
+		back, err := FromDecimal(s)
+		if err != nil || back.Cmp(x) != 0 {
+			t.Fatalf("decimal round trip failed for %x", raw)
+		}
+	})
+}

@@ -1,0 +1,229 @@
+// Package reconstruct implements the attacker's post-processing of leaked
+// traces: rebuilding images from coefficient activity (§VIII-A1),
+// recovering RSA exponents from square/multiply traces (§VIII-B1), and
+// scoring recovered shift/sub traces (§VIII-B2). It also provides the
+// accuracy metrics the paper reports ("stealing accuracy" against the
+// instrumentation oracle).
+package reconstruct
+
+import (
+	"metaleak/internal/jpeg"
+	"metaleak/internal/mpi"
+	"metaleak/internal/victim"
+)
+
+// coefficientsPerBlock is the number of AC coefficients per 8×8 block.
+const coefficientsPerBlock = 63
+
+// TraceAccuracy is the paper's stealing accuracy: the fraction of trace
+// entries the attack classified like the oracle. Excess entries on either
+// side count as errors.
+func TraceAccuracy(got, oracle []bool) float64 {
+	n := len(oracle)
+	if len(got) > n {
+		n = len(got)
+	}
+	if n == 0 {
+		return 1
+	}
+	correct := 0
+	for i := 0; i < len(got) && i < len(oracle); i++ {
+		if got[i] == oracle[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(n)
+}
+
+// OpAccuracy scores a recovered operation trace against the oracle's.
+func OpAccuracy(got, oracle []victim.Op) float64 {
+	n := len(oracle)
+	if len(got) > n {
+		n = len(got)
+	}
+	if n == 0 {
+		return 1
+	}
+	correct := 0
+	for i := 0; i < len(got) && i < len(oracle); i++ {
+		if got[i] == oracle[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(n)
+}
+
+// ImageFromTrace runs the attacker's local reconstruction pipeline
+// (§VIII-A1): starting from a blank image's coefficient blocks, the leaked
+// zero/non-zero pattern guides the generation of compressed coefficients —
+// each coefficient observed as non-zero is given a nominal magnitude of
+// one quantization step with an alternating sign, which restores the
+// image's spatial-frequency structure (edges and gradients) without
+// knowing the exact values. The DC coefficient is unobservable and stays
+// at mid-gray.
+func ImageFromTrace(nonZero []bool, w, h, quality int) *jpeg.Image {
+	bw, bh := (w+7)/8, (h+7)/8
+	nBlocks := bw * bh
+	blocks := make([][64]int, nBlocks)
+	idx := 0
+	active := make([]int, nBlocks)
+	for b := 0; b < nBlocks; b++ {
+		sign := 1
+		for k := 1; k <= coefficientsPerBlock; k++ {
+			if idx >= len(nonZero) {
+				break
+			}
+			if nonZero[idx] {
+				// Nominal magnitude, stronger for low frequencies (where
+				// real images concentrate energy), alternating sign.
+				mag := 3
+				if k > 8 {
+					mag = 1
+				}
+				blocks[b][jpeg.NaturalOrder(k)] = sign * mag
+				sign = -sign
+				active[b]++
+			}
+			idx++
+		}
+	}
+	// Blocks with many active coefficients sit on edges/texture; bias
+	// their DC darker so uniform regions and busy regions separate — the
+	// "discernible features" the paper's reconstruction surfaces.
+	for b := range blocks {
+		blocks[b][0] = -2 * active[b]
+	}
+	return jpeg.RenderBlocks(blocks, w, h, quality)
+}
+
+// OracleImage renders the oracle's reconstruction (the "Oracle" row of
+// Fig. 15): the same pipeline fed with ground-truth instrumentation
+// instead of the side channel.
+func OracleImage(tr *victim.CoefTrace) *jpeg.Image {
+	return ImageFromTrace(tr.NonZero, tr.W, tr.H, tr.Quality)
+}
+
+// ExponentFromOps decodes a square-and-multiply operation trace into
+// exponent bits, MSB first: every square starts a bit; a multiply right
+// after marks it 1 (Listing 2's structure).
+func ExponentFromOps(ops []victim.Op) []uint {
+	var bits []uint
+	for i := 0; i < len(ops); i++ {
+		if ops[i] != victim.OpSquare {
+			continue // stray multiply: attributed to the previous bit already
+		}
+		bit := uint(0)
+		if i+1 < len(ops) && ops[i+1] == victim.OpMultiply {
+			bit = 1
+		}
+		bits = append(bits, bit)
+	}
+	return bits
+}
+
+// BitsOfExponent returns the exponent's bits MSB-first, for scoring.
+func BitsOfExponent(e mpi.Int) []uint {
+	n := e.BitLen()
+	bits := make([]uint, n)
+	for i := 0; i < n; i++ {
+		bits[i] = e.Bit(n - 1 - i)
+	}
+	return bits
+}
+
+// BitAccuracy scores recovered bits against the true ones; length
+// mismatches count as errors.
+func BitAccuracy(got, want []uint) float64 {
+	n := len(want)
+	if len(got) > n {
+		n = len(got)
+	}
+	if n == 0 {
+		return 1
+	}
+	correct := 0
+	for i := 0; i < len(got) && i < len(want); i++ {
+		if got[i] == want[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(n)
+}
+
+// PixelSimilarity reports a [0,1] similarity between two images: 1 minus
+// the mean absolute pixel difference over the full range. It quantifies
+// how much of the original Fig. 15 images survives reconstruction.
+func PixelSimilarity(a, b *jpeg.Image) float64 {
+	if a.W != b.W || a.H != b.H || len(a.Pix) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range a.Pix {
+		d := int(a.Pix[i]) - int(b.Pix[i])
+		if d < 0 {
+			d = -d
+		}
+		sum += float64(d)
+	}
+	return 1 - sum/float64(len(a.Pix))/255
+}
+
+// AlignedAccuracy scores recovered bits against the true ones using edit
+// distance, tolerating the insertions/deletions that a misread
+// square-and-multiply trace produces (a missed square merges two bits and
+// shifts the tail, which positional comparison would count as all-wrong).
+// Real attackers realign using the known RSA structure, so alignment-aware
+// scoring reflects recoverable information.
+func AlignedAccuracy(got, want []uint) float64 {
+	n, m := len(got), len(want)
+	if m == 0 && n == 0 {
+		return 1
+	}
+	// Levenshtein distance, two-row formulation.
+	prev := make([]int, m+1)
+	cur := make([]int, m+1)
+	for j := 0; j <= m; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= n; i++ {
+		cur[0] = i
+		for j := 1; j <= m; j++ {
+			cost := 1
+			if got[i-1] == want[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	d := prev[m]
+	den := n
+	if m > den {
+		den = m
+	}
+	return 1 - float64(d)/float64(den)
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// AlignedOpAccuracy is AlignedAccuracy over operation traces (tolerating
+// the insertions/deletions synchronization slips produce).
+func AlignedOpAccuracy(got, oracle []victim.Op) float64 {
+	g := make([]uint, len(got))
+	w := make([]uint, len(oracle))
+	for i, op := range got {
+		g[i] = uint(op)
+	}
+	for i, op := range oracle {
+		w[i] = uint(op)
+	}
+	return AlignedAccuracy(g, w)
+}

@@ -1,0 +1,174 @@
+package reconstruct
+
+import (
+	"testing"
+	"testing/quick"
+
+	"metaleak/internal/jpeg"
+	"metaleak/internal/mpi"
+	"metaleak/internal/victim"
+)
+
+func TestTraceAccuracy(t *testing.T) {
+	if TraceAccuracy([]bool{true, false}, []bool{true, false}) != 1 {
+		t.Fatal("perfect trace not 1.0")
+	}
+	if TraceAccuracy([]bool{true, true}, []bool{true, false}) != 0.5 {
+		t.Fatal("half-wrong trace not 0.5")
+	}
+	if TraceAccuracy(nil, nil) != 1 {
+		t.Fatal("empty traces not 1.0")
+	}
+	// Length mismatch counts against accuracy.
+	if TraceAccuracy([]bool{true}, []bool{true, true}) != 0.5 {
+		t.Fatal("length mismatch not penalized")
+	}
+}
+
+func TestExponentFromOpsExact(t *testing.T) {
+	ops := []victim.Op{
+		victim.OpSquare, victim.OpMultiply, // 1
+		victim.OpSquare,                    // 0
+		victim.OpSquare, victim.OpMultiply, // 1
+	}
+	bits := ExponentFromOps(ops)
+	want := []uint{1, 0, 1}
+	if len(bits) != len(want) {
+		t.Fatalf("got %v", bits)
+	}
+	for i := range want {
+		if bits[i] != want[i] {
+			t.Fatalf("bit %d = %d", i, bits[i])
+		}
+	}
+}
+
+func TestExponentRoundTripThroughModExp(t *testing.T) {
+	// Ops produced by a real ModExp decode back to the exponent exactly.
+	exp := mpi.FromHex("9e3779b97f4a7c15")
+	var ops []victim.Op
+	mpi.ModExp(mpi.New(3), exp, mpi.FromHex("ffffffffffffffc5"), &mpi.Hooks{
+		Square:   func() { ops = append(ops, victim.OpSquare) },
+		Multiply: func() { ops = append(ops, victim.OpMultiply) },
+	})
+	bits := ExponentFromOps(ops)
+	want := BitsOfExponent(exp)
+	if BitAccuracy(bits, want) != 1 {
+		t.Fatal("oracle ops did not decode to the exponent")
+	}
+}
+
+func TestBitsOfExponent(t *testing.T) {
+	bits := BitsOfExponent(mpi.FromHex("b")) // 1011
+	want := []uint{1, 0, 1, 1}
+	for i := range want {
+		if bits[i] != want[i] {
+			t.Fatalf("bits = %v", bits)
+		}
+	}
+}
+
+func TestAlignedAccuracyToleratesIndels(t *testing.T) {
+	want := []uint{1, 0, 1, 1, 0, 1, 0, 0, 1, 1}
+	// Positional accuracy collapses after a deletion; aligned stays high.
+	deleted := append([]uint{}, want[:3]...)
+	deleted = append(deleted, want[4:]...)
+	if pos := BitAccuracy(deleted, want); pos > 0.6 {
+		t.Fatalf("positional accuracy unexpectedly high: %f", pos)
+	}
+	if al := AlignedAccuracy(deleted, want); al < 0.85 {
+		t.Fatalf("aligned accuracy too low after single deletion: %f", al)
+	}
+	if AlignedAccuracy(want, want) != 1 {
+		t.Fatal("identical sequences not 1.0")
+	}
+}
+
+func TestQuickAlignedAccuracyBounds(t *testing.T) {
+	f := func(a, b []bool) bool {
+		ua := make([]uint, len(a))
+		ub := make([]uint, len(b))
+		for i, v := range a {
+			if v {
+				ua[i] = 1
+			}
+		}
+		for i, v := range b {
+			if v {
+				ub[i] = 1
+			}
+		}
+		acc := AlignedAccuracy(ua, ub)
+		return acc >= 0 && acc <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImageFromTraceGeometry(t *testing.T) {
+	// A 16x16 image has 4 blocks = 252 coefficients.
+	trace := make([]bool, 252)
+	for i := range trace {
+		trace[i] = i%7 == 0
+	}
+	im := ImageFromTrace(trace, 16, 16, 75)
+	if im.W != 16 || im.H != 16 {
+		t.Fatalf("image %dx%d", im.W, im.H)
+	}
+	// An all-zero trace renders flat; the nonzero one must not.
+	flat := ImageFromTrace(make([]bool, 252), 16, 16, 75)
+	if PixelSimilarity(im, flat) == 1 {
+		t.Fatal("active trace rendered identically to empty trace")
+	}
+}
+
+func TestOracleVsAttackerPipelineAgree(t *testing.T) {
+	im, _ := jpeg.Synthetic(jpeg.PatternCircle, 24, 24)
+	enc := &jpeg.Encoder{Quality: 75}
+	res, err := enc.Encode(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace []bool
+	for _, blk := range res.Blocks {
+		for k := 1; k < 64; k++ {
+			trace = append(trace, blk[jpeg.NaturalOrder(k)] != 0)
+		}
+	}
+	tr := &victim.CoefTrace{W: 24, H: 24, Quality: 75, NonZero: trace}
+	a := OracleImage(tr)
+	b := ImageFromTrace(trace, 24, 24, 75)
+	if PixelSimilarity(a, b) != 1 {
+		t.Fatal("oracle and trace pipelines diverge on identical input")
+	}
+}
+
+func TestPixelSimilarity(t *testing.T) {
+	a := jpeg.NewImage(8, 8)
+	b := jpeg.NewImage(8, 8)
+	if PixelSimilarity(a, b) != 1 {
+		t.Fatal("identical images not 1.0")
+	}
+	for i := range b.Pix {
+		b.Pix[i] = 255
+	}
+	if PixelSimilarity(a, b) != 0 {
+		t.Fatal("opposite images not 0.0")
+	}
+	c := jpeg.NewImage(4, 4)
+	if PixelSimilarity(a, c) != 0 {
+		t.Fatal("size mismatch not 0")
+	}
+}
+
+func TestOpAccuracy(t *testing.T) {
+	a := []victim.Op{victim.OpSquare, victim.OpMultiply}
+	if OpAccuracy(a, a) != 1 {
+		t.Fatal("identical ops not 1.0")
+	}
+	b := []victim.Op{victim.OpSquare, victim.OpSquare}
+	if OpAccuracy(a, b) != 0.5 {
+		t.Fatal("half-wrong not 0.5")
+	}
+}

@@ -1,0 +1,51 @@
+package secmem
+
+import "metaleak/internal/arch"
+
+// Tamper-injection hooks. These model the physical attacker of §II-B
+// (spoofing, splicing, replay) by mutating the off-chip backing store
+// behind the controller's back; tests assert that the MAC and integrity
+// tree detect every one of them.
+
+// BlockSnapshot captures a block's off-chip state (ciphertext + MAC) for a
+// later replay.
+type BlockSnapshot struct {
+	Block arch.BlockID
+	ct    [arch.BlockSize]byte
+	mac   uint64
+	ok    bool
+}
+
+// TamperFlipBit flips one bit of a block's ciphertext in memory (data
+// spoofing).
+func (c *Controller) TamperFlipBit(b arch.BlockID, bit int) {
+	c.ensureInit(b)
+	ct := c.store[b]
+	ct[bit/8%arch.BlockSize] ^= 1 << (bit % 8)
+	c.store[b] = ct
+}
+
+// TamperSplice swaps the off-chip contents (ciphertext and MAC) of two
+// blocks (data splicing).
+func (c *Controller) TamperSplice(b1, b2 arch.BlockID) {
+	c.ensureInit(b1)
+	c.ensureInit(b2)
+	c.store[b1], c.store[b2] = c.store[b2], c.store[b1]
+	c.macs[b1], c.macs[b2] = c.macs[b2], c.macs[b1]
+}
+
+// Snapshot captures a block's current off-chip state.
+func (c *Controller) Snapshot(b arch.BlockID) BlockSnapshot {
+	c.ensureInit(b)
+	return BlockSnapshot{Block: b, ct: c.store[b], mac: c.macs[b], ok: true}
+}
+
+// TamperReplay restores an earlier snapshot of a block (data replay: a
+// stale but self-consistent ciphertext+MAC pair).
+func (c *Controller) TamperReplay(s BlockSnapshot) {
+	if !s.ok {
+		panic("secmem: replaying empty snapshot")
+	}
+	c.store[s.Block] = s.ct
+	c.macs[s.Block] = s.mac
+}

@@ -1,0 +1,195 @@
+// Package stats provides the small statistics toolkit the experiments
+// use: summaries (mean/percentiles), latency histograms with ASCII
+// rendering (the textual analogue of the paper's distribution figures),
+// and two-class separation metrics for timing channels.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"metaleak/internal/arch"
+)
+
+// Sample is a collection of cycle measurements.
+type Sample []arch.Cycles
+
+// Add appends a measurement.
+func (s *Sample) Add(v arch.Cycles) { *s = append(*s, v) }
+
+// Len returns the number of measurements.
+func (s Sample) Len() int { return len(s) }
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func (s Sample) Mean() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s {
+		sum += float64(v)
+	}
+	return sum / float64(len(s))
+}
+
+// Std returns the population standard deviation.
+func (s Sample) Std() float64 {
+	if len(s) < 2 {
+		return 0
+	}
+	m := s.Mean()
+	var acc float64
+	for _, v := range s {
+		d := float64(v) - m
+		acc += d * d
+	}
+	return math.Sqrt(acc / float64(len(s)))
+}
+
+// sorted returns an ascending copy.
+func (s Sample) sorted() Sample {
+	out := append(Sample(nil), s...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Percentile returns the p-quantile (p in [0,1]) by nearest rank.
+func (s Sample) Percentile(p float64) arch.Cycles {
+	if len(s) == 0 {
+		return 0
+	}
+	sorted := s.sorted()
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// Min returns the smallest measurement.
+func (s Sample) Min() arch.Cycles { return s.Percentile(0) }
+
+// Max returns the largest measurement.
+func (s Sample) Max() arch.Cycles { return s.Percentile(1) }
+
+// Summary renders "n=.. min=.. mean=.. p95=.. max=..".
+func (s Sample) Summary() string {
+	return fmt.Sprintf("n=%d min=%d mean=%.0f p95=%d max=%d",
+		len(s), s.Min(), s.Mean(), s.Percentile(0.95), s.Max())
+}
+
+// Histogram bins a sample into fixed-width buckets.
+type Histogram struct {
+	Lo, Hi arch.Cycles
+	Width  arch.Cycles
+	Counts []int
+	Total  int
+}
+
+// NewHistogram bins the sample into n buckets spanning its range.
+func NewHistogram(s Sample, n int) *Histogram {
+	if n < 1 {
+		n = 1
+	}
+	h := &Histogram{Counts: make([]int, n)}
+	if len(s) == 0 {
+		h.Width = 1
+		return h
+	}
+	h.Lo, h.Hi = s.Min(), s.Max()
+	span := h.Hi - h.Lo + 1
+	h.Width = (span + arch.Cycles(n) - 1) / arch.Cycles(n)
+	if h.Width == 0 {
+		h.Width = 1
+	}
+	for _, v := range s {
+		i := int((v - h.Lo) / h.Width)
+		if i >= n {
+			i = n - 1
+		}
+		h.Counts[i]++
+		h.Total++
+	}
+	return h
+}
+
+// ASCII renders the histogram as one bar line per bucket, the textual
+// analogue of the paper's latency-distribution plots.
+func (h *Histogram) ASCII(barWidth int) string {
+	if barWidth < 1 {
+		barWidth = 40
+	}
+	max := 1
+	for _, c := range h.Counts {
+		if c > max {
+			max = c
+		}
+	}
+	var sb strings.Builder
+	for i, c := range h.Counts {
+		lo := h.Lo + arch.Cycles(i)*h.Width
+		bar := strings.Repeat("#", c*barWidth/max)
+		fmt.Fprintf(&sb, "%6d..%-6d |%-*s| %d\n", lo, lo+h.Width-1, barWidth, bar, c)
+	}
+	return sb.String()
+}
+
+// Separation quantifies how distinguishable two latency classes are.
+type Separation struct {
+	FastMean, SlowMean float64
+	Gap                float64 // slow mean - fast mean
+	// Overlap is the fraction of samples on the wrong side of the midpoint
+	// threshold — the error rate of the naive classifier.
+	Overlap float64
+	// Threshold is the quartile-based split point.
+	Threshold arch.Cycles
+}
+
+// Separate computes the separation between a fast and a slow class.
+func Separate(fast, slow Sample) Separation {
+	sep := Separation{FastMean: fast.Mean(), SlowMean: slow.Mean()}
+	sep.Gap = sep.SlowMean - sep.FastMean
+	sep.Threshold = (fast.Percentile(0.75) + slow.Percentile(0.25)) / 2
+	wrong := 0
+	for _, v := range fast {
+		if v >= sep.Threshold {
+			wrong++
+		}
+	}
+	for _, v := range slow {
+		if v < sep.Threshold {
+			wrong++
+		}
+	}
+	if n := len(fast) + len(slow); n > 0 {
+		sep.Overlap = float64(wrong) / float64(n)
+	}
+	return sep
+}
+
+// Accuracy is 1 - Overlap: the naive threshold classifier's accuracy.
+func (s Separation) Accuracy() float64 { return 1 - s.Overlap }
+
+// BitErrorRate compares two bit strings of equal meaning.
+func BitErrorRate(got, want []bool) float64 {
+	n := len(want)
+	if len(got) > n {
+		n = len(got)
+	}
+	if n == 0 {
+		return 0
+	}
+	errs := 0
+	for i := 0; i < n; i++ {
+		var g, w bool
+		if i < len(got) {
+			g = got[i]
+		}
+		if i < len(want) {
+			w = want[i]
+		}
+		if g != w {
+			errs++
+		}
+	}
+	return float64(errs) / float64(n)
+}

@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"metaleak/internal/arch"
+)
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	for _, v := range []arch.Cycles{10, 20, 30, 40} {
+		s.Add(v)
+	}
+	if s.Mean() != 25 {
+		t.Fatalf("mean %f", s.Mean())
+	}
+	if s.Min() != 10 || s.Max() != 40 {
+		t.Fatal("min/max wrong")
+	}
+	if s.Percentile(0.5) != 20 && s.Percentile(0.5) != 30 {
+		t.Fatalf("median %d", s.Percentile(0.5))
+	}
+	if !strings.Contains(s.Summary(), "n=4") {
+		t.Fatal("summary missing count")
+	}
+}
+
+func TestEmptySampleSafe(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Min() != 0 || s.Std() != 0 {
+		t.Fatal("empty sample not zero-valued")
+	}
+	h := NewHistogram(s, 5)
+	if h.Total != 0 {
+		t.Fatal("empty histogram has entries")
+	}
+	_ = h.ASCII(10)
+}
+
+func TestStd(t *testing.T) {
+	s := Sample{10, 10, 10, 10}
+	if s.Std() != 0 {
+		t.Fatal("constant sample has nonzero std")
+	}
+	s2 := Sample{0, 20}
+	if s2.Std() != 10 {
+		t.Fatalf("std = %f want 10", s2.Std())
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	s := Sample{0, 1, 2, 50, 51, 99}
+	h := NewHistogram(s, 10)
+	if h.Total != len(s) {
+		t.Fatalf("total %d", h.Total)
+	}
+	sum := 0
+	for _, c := range h.Counts {
+		sum += c
+	}
+	if sum != len(s) {
+		t.Fatal("counts do not sum to total")
+	}
+	art := h.ASCII(20)
+	if !strings.Contains(art, "#") {
+		t.Fatal("no bars rendered")
+	}
+}
+
+func TestQuickHistogramConserves(t *testing.T) {
+	f := func(raw []uint16, nbRaw uint8) bool {
+		var s Sample
+		for _, v := range raw {
+			s.Add(arch.Cycles(v))
+		}
+		nb := int(nbRaw)%20 + 1
+		h := NewHistogram(s, nb)
+		sum := 0
+		for _, c := range h.Counts {
+			sum += c
+		}
+		return sum == len(s) && h.Total == len(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeparationCleanClasses(t *testing.T) {
+	fast := Sample{100, 105, 110, 95}
+	slow := Sample{300, 310, 295, 305}
+	sep := Separate(fast, slow)
+	if sep.Accuracy() != 1 {
+		t.Fatalf("clean classes accuracy %f", sep.Accuracy())
+	}
+	if sep.Gap < 190 || sep.Gap > 210 {
+		t.Fatalf("gap %f", sep.Gap)
+	}
+	if sep.Threshold <= 110 || sep.Threshold >= 295 {
+		t.Fatalf("threshold %d outside gap", sep.Threshold)
+	}
+}
+
+func TestSeparationOverlappingClasses(t *testing.T) {
+	fast := Sample{100, 200, 100, 200}
+	slow := Sample{100, 200, 100, 200}
+	sep := Separate(fast, slow)
+	if sep.Accuracy() > 0.8 {
+		t.Fatalf("identical classes should not separate: %f", sep.Accuracy())
+	}
+}
+
+func TestBitErrorRate(t *testing.T) {
+	if BitErrorRate([]bool{true, false}, []bool{true, false}) != 0 {
+		t.Fatal("identical bits nonzero BER")
+	}
+	if BitErrorRate([]bool{true, true}, []bool{true, false}) != 0.5 {
+		t.Fatal("half-wrong not 0.5")
+	}
+	if BitErrorRate([]bool{true}, []bool{true, true}) != 0.5 {
+		t.Fatal("length mismatch not counted")
+	}
+}

@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"metaleak/internal/machine"
+	"metaleak/internal/secmem"
+	"metaleak/internal/sim"
+)
+
+func sys(t *testing.T) *machine.System {
+	t.Helper()
+	dp := machine.ConfigSCT()
+	dp.SecurePages = 1 << 14
+	dp.Seed = 9
+	return machine.NewSystem(dp)
+}
+
+func TestRecorderCapturesAccesses(t *testing.T) {
+	s := sys(t)
+	r := New(128)
+	detach := r.Attach(s.System)
+	p := s.AllocPage(0)
+	s.Read(0, p.Block(0))
+	s.Read(0, p.Block(0))
+	s.Flush(0, p.Block(0))
+	s.Read(0, p.Block(0))
+	detach()
+	s.Read(0, p.Block(1)) // after detach: unrecorded
+
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("%d events recorded", len(evs))
+	}
+	if evs[0].Path != secmem.PathTreeMiss || evs[1].Path != secmem.PathCacheHit || evs[2].Path != secmem.PathCounterHit {
+		t.Fatalf("paths %v %v %v", evs[0].Path, evs[1].Path, evs[2].Path)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq || evs[i].Now < evs[i-1].Now {
+			t.Fatal("events out of order")
+		}
+	}
+}
+
+func TestRecorderRingDropsOldest(t *testing.T) {
+	s := sys(t)
+	r := New(4)
+	r.Attach(s.System)
+	p := s.AllocPage(0)
+	for i := 0; i < 10; i++ {
+		s.Read(0, p.Block(i))
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d", len(evs))
+	}
+	if r.Total() != 10 {
+		t.Fatalf("total %d", r.Total())
+	}
+	// The retained events are the most recent four, in order.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatal("ring not contiguous")
+		}
+	}
+}
+
+func TestRecorderFilter(t *testing.T) {
+	s := sys(t)
+	r := New(64)
+	r.Filter = func(ev sim.TraceEvent) bool { return ev.Write }
+	r.Attach(s.System)
+	p := s.AllocPage(0)
+	s.Read(0, p.Block(0))
+	s.Write(0, p.Block(1), [64]byte{1})
+	if len(r.Events()) != 1 || !r.Events()[0].Write {
+		t.Fatalf("filter failed: %v", r.Events())
+	}
+}
+
+func TestCSVAndSummary(t *testing.T) {
+	s := sys(t)
+	r := New(64)
+	r.Attach(s.System)
+	p := s.AllocPage(0)
+	s.Read(0, p.Block(0))
+	s.Read(0, p.Block(0))
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 || !strings.HasPrefix(lines[0], "seq,") {
+		t.Fatalf("csv:\n%s", sb.String())
+	}
+	sum := r.Summary()
+	if !strings.Contains(sum, "path 1") || !strings.Contains(sum, "path 4") {
+		t.Fatalf("summary:\n%s", sum)
+	}
+}

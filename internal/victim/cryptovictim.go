@@ -1,0 +1,133 @@
+package victim
+
+import (
+	"metaleak/internal/arch"
+	"metaleak/internal/mpi"
+)
+
+// Op labels one leaky arithmetic operation of a cryptographic victim.
+type Op byte
+
+// Operation labels.
+const (
+	OpSquare   Op = 'S' // _gcry_mpih_sqr_n_basecase
+	OpMultiply Op = 'M' // _gcry_mpih_mul_karatsuba_case
+	OpShift    Op = 'R' // mbedtls_mpi_shift_r
+	OpSub      Op = 'B' // mbedtls_mpi_sub_mpi
+)
+
+// RSAVictim runs libgcrypt-1.5.2-style square-and-multiply modular
+// exponentiation in the enclave. The square and multiply routines reside
+// in separate pages (the -disable-asm build of §VIII-B1), so the call
+// sequence — and with it the secret exponent — shows up as page-granular
+// access activity.
+type RSAVictim struct {
+	*Proc
+	SqrPage, MulPage arch.PageID
+}
+
+// NewRSAVictim allocates the two function pages.
+func NewRSAVictim(p *Proc) *RSAVictim {
+	return &RSAVictim{Proc: p, SqrPage: p.AllocPage(), MulPage: p.AllocPage()}
+}
+
+// ModExp computes base^exp mod m, touching the function page of each
+// operation and yielding to the interleave around it. It returns the
+// result and the ground-truth operation trace.
+func (v *RSAVictim) ModExp(base, exp, m mpi.Int, iv *Interleave) (mpi.Int, []Op) {
+	var trace []Op
+	pending := false
+	step := func(op Op, pg arch.PageID) {
+		if pending {
+			iv.after()
+		}
+		iv.before()
+		v.TouchPage(pg)
+		trace = append(trace, op)
+		pending = true
+	}
+	r := mpi.ModExp(base, exp, m, &mpi.Hooks{
+		Square:   func() { step(OpSquare, v.SqrPage) },
+		Multiply: func() { step(OpMultiply, v.MulPage) },
+	})
+	if pending {
+		iv.after()
+	}
+	return r, trace
+}
+
+// KeyLoadVictim runs mbedTLS-3.4-style private key loading: the modular
+// inversion d = e^-1 mod (p-1)(q-1), computed by a binary extended GCD
+// whose right-shift and subtract routines live in separate pages
+// (§VIII-B2).
+type KeyLoadVictim struct {
+	*Proc
+	ShiftPage, SubPage arch.PageID
+}
+
+// NewKeyLoadVictim allocates the two function pages.
+func NewKeyLoadVictim(p *Proc) *KeyLoadVictim {
+	return &KeyLoadVictim{Proc: p, ShiftPage: p.AllocPage(), SubPage: p.AllocPage()}
+}
+
+// LoadKey derives the private exponent from the RSA primes and public
+// exponent, yielding around every shift and subtract. It returns d and
+// the ground-truth operation trace.
+func (v *KeyLoadVictim) LoadKey(p, q, e mpi.Int, iv *Interleave) (mpi.Int, []Op, error) {
+	var trace []Op
+	pending := false
+	step := func(op Op, pg arch.PageID) {
+		if pending {
+			iv.after()
+		}
+		iv.before()
+		v.TouchPage(pg)
+		trace = append(trace, op)
+		pending = true
+	}
+	one := mpi.New(1)
+	phi := p.Sub(one).Mul(q.Sub(one))
+	d, ok := mpi.ModInverse(e, phi, &mpi.Hooks{
+		Shift: func() { step(OpShift, v.ShiftPage) },
+		Sub:   func() { step(OpSub, v.SubPage) },
+	})
+	if pending {
+		iv.after()
+	}
+	if !ok {
+		return mpi.Int{}, nil, errNoInverse
+	}
+	return d, trace, nil
+}
+
+type constError string
+
+func (e constError) Error() string { return string(e) }
+
+const errNoInverse = constError("victim: e has no inverse modulo phi(n)")
+
+// ModExpLadder is the victim hardened with the Montgomery ladder: every
+// exponent bit performs exactly one multiply and one square, so the page
+// access sequence is independent of the secret. The attacker still
+// observes the accesses perfectly — they just carry no information.
+func (v *RSAVictim) ModExpLadder(base, exp, m mpi.Int, iv *Interleave) (mpi.Int, []Op) {
+	var trace []Op
+	pending := false
+	step := func(op Op, pg arch.PageID) {
+		if pending {
+			iv.after()
+		}
+		iv.before()
+		v.TouchPage(pg)
+		trace = append(trace, op)
+		pending = true
+	}
+	r := mpi.ModExpLadder(base, exp, m, &mpi.Hooks{
+		Square:   func() { step(OpSquare, v.SqrPage) },
+		Multiply: func() { step(OpMultiply, v.MulPage) },
+	})
+	if pending {
+		iv.after()
+	}
+	return r, trace
+}

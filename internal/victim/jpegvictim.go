@@ -1,0 +1,80 @@
+package victim
+
+import (
+	"metaleak/internal/arch"
+	"metaleak/internal/jpeg"
+)
+
+// JPEGVictim runs the libjpeg-style encoder inside the protected region.
+// Per Listing 1, its entropy loop touches the page of the run-length
+// counter r for every zero AC coefficient and the page of nbits for every
+// non-zero one; the two variables live in two different pages "by default"
+// (§VIII-A1), which the attacker exploits.
+type JPEGVictim struct {
+	*Proc
+	// RPage holds the variable r; NbitsPage holds nbits.
+	RPage, NbitsPage arch.PageID
+	// WriteR additionally makes the zero branch store to r (r++ is a
+	// write), the observable of the MetaLeak-C case study (§VIII-A2).
+	WriteR bool
+	// Quality is the encoder quality factor (default 75).
+	Quality int
+}
+
+// NewJPEGVictim allocates the victim's two variable pages.
+func NewJPEGVictim(p *Proc) *JPEGVictim {
+	return &JPEGVictim{
+		Proc:  p,
+		RPage: p.AllocPage(), NbitsPage: p.AllocPage(),
+	}
+}
+
+// CoefTrace is the ground-truth oracle trace of one encoding run: one
+// entry per AC coefficient in scan order, true for non-zero (the Fig. 15
+// "Oracle" reconstruction uses exactly this).
+type CoefTrace struct {
+	W, H    int
+	Quality int
+	NonZero []bool
+}
+
+// Encode compresses the image, yielding to the interleave around every AC
+// coefficient, and returns the encoder result plus the oracle trace.
+func (v *JPEGVictim) Encode(im *jpeg.Image, iv *Interleave) (*jpeg.Result, *CoefTrace, error) {
+	q := v.Quality
+	if q == 0 {
+		q = 75
+	}
+	trace := &CoefTrace{W: im.W, H: im.H, Quality: q}
+	pending := false
+	step := func(nonzero bool) {
+		if pending {
+			iv.after()
+		}
+		iv.before()
+		if nonzero {
+			v.TouchPage(v.NbitsPage)
+		} else if v.WriteR {
+			v.WritePage(v.RPage, byte(len(trace.NonZero)))
+		} else {
+			v.TouchPage(v.RPage)
+		}
+		trace.NonZero = append(trace.NonZero, nonzero)
+		pending = true
+	}
+	enc := &jpeg.Encoder{
+		Quality: q,
+		Hooks: &jpeg.Hooks{
+			ZeroCoef:    func(k int) { step(false) },
+			NonzeroCoef: func(k, nbits int) { step(true) },
+		},
+	}
+	res, err := enc.Encode(im)
+	if pending {
+		iv.after()
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, trace, nil
+}

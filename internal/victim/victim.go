@@ -1,0 +1,104 @@
+// Package victim implements the paper's victim programs as processes on
+// the simulated secure machine: the libjpeg-style image compressor
+// (§VIII-A), the libgcrypt-style RSA square-and-multiply (§VIII-B1), and
+// the mbedTLS-style private-key loading (§VIII-B2).
+//
+// Each victim performs its real computation (the JPEG codec and the mpi
+// arithmetic are functional), while its secret-dependent routines or
+// variables are pinned to dedicated simulated pages. Around every leaky
+// step the victim yields to an interleave callback pair — the simulator's
+// stand-in for the attacker's synchronization handle (SGX-Step single
+// stepping under the privileged threat model, or scheduling-based
+// slow-downs in the unprivileged one).
+//
+// Victims honour the threat model of §III: their sensitive accesses reach
+// the memory controller (cache cleansing on every leaky touch, write-
+// through for leaky stores).
+package victim
+
+import (
+	"metaleak/internal/arch"
+	"metaleak/internal/sim"
+)
+
+// Interleave is the attacker's synchronization handle: Before runs before
+// each leaky victim step, After immediately after it. Either may be nil.
+type Interleave struct {
+	Before func()
+	After  func()
+}
+
+func (iv *Interleave) before() {
+	if iv != nil && iv.Before != nil {
+		iv.Before()
+	}
+}
+
+func (iv *Interleave) after() {
+	if iv != nil && iv.After != nil {
+		iv.After()
+	}
+}
+
+// Proc is a victim process: a core and its owned pages on the machine.
+type Proc struct {
+	Sys  *sim.System
+	Core int
+}
+
+// NewProc binds a victim to a core.
+func NewProc(sys *sim.System, core int) *Proc {
+	return &Proc{Sys: sys, Core: core}
+}
+
+// AllocPage allocates one page to the victim.
+func (p *Proc) AllocPage() arch.PageID { return p.Sys.AllocPage(p.Core) }
+
+// TouchPage performs one cleansed access to the page's first block: the
+// line is flushed first so the access reaches the memory controller and
+// exercises the metadata path (the §III cache-cleansing policy; under
+// SGX-Step every interrupt empties the victim's cache state anyway).
+func (p *Proc) TouchPage(pg arch.PageID) {
+	b := pg.Block(0)
+	p.Sys.Flush(p.Core, b)
+	p.Sys.Touch(p.Core, b)
+}
+
+// WritePage performs one write-through store to the page's first block
+// (the persistent-application write pattern of §III).
+func (p *Proc) WritePage(pg arch.PageID, tag byte) {
+	p.Sys.WriteThrough(p.Core, pg.Block(0), [arch.BlockSize]byte{tag})
+}
+
+// Jitter wraps an interleave with SGX-Step imprecision: with probability
+// skip, a victim step is missed entirely (the interrupt landed late and
+// the enclave retired the instruction before the attacker's window), and
+// with probability double, a window fires with no victim progress (zero
+// stepping). The paper's real-hardware accuracies (91-94%) absorb exactly
+// this kind of synchronization slip; the knob reproduces it on demand.
+func Jitter(iv *Interleave, rng *arch.RNG, skip, double float64) *Interleave {
+	if iv == nil {
+		return nil
+	}
+	return &Interleave{
+		Before: func() {
+			if rng.Bool(double) {
+				// A spurious empty window: the attacker evicts and reloads
+				// around nothing.
+				iv.before()
+				iv.after()
+			}
+			iv.before()
+		},
+		After: func() {
+			if rng.Bool(skip) {
+				// Missed window: the victim's access already happened; the
+				// attacker's measurement pairs with the NEXT step. Model by
+				// swallowing this After (the attacker observes one fewer
+				// event than the victim performed).
+				return
+			}
+			iv.after()
+		},
+	}
+}

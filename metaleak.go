@@ -1,0 +1,182 @@
+// Package metaleak is a production-quality reproduction of "MetaLeak:
+// Uncovering Side Channels in Secure Processor Architectures Exploiting
+// Metadata" (Chowdhuryy, Zheng, Yao — ISCA 2024).
+//
+// It provides, as a library:
+//
+//   - a deterministic cycle-level simulator of secure processor
+//     architectures: counter-mode encryption (GC/MoC/SC schemes),
+//     MAC authentication, and integrity trees (hash tree, split-counter
+//     tree, SGX integrity tree) behind a faithful memory controller with
+//     metadata caching, DRAM banking, and lazy tree updates;
+//   - the MetaLeak attack framework: the mEvict+mReload and
+//     mPreset+mOverflow primitives, the MetaLeak-T and MetaLeak-C covert
+//     channels, and the end-to-end case-study attacks;
+//   - the victim substrates: a baseline JPEG codec with libjpeg's leaky
+//     entropy loop, and a from-scratch multi-precision integer library
+//     with libgcrypt-style square-and-multiply and mbedTLS-style binary
+//     extended-GCD key loading;
+//   - experiment drivers regenerating every table and figure of the
+//     paper's evaluation (see internal/experiments and cmd/metaleak).
+//
+// Quickstart:
+//
+//	sys := metaleak.NewSystem(metaleak.ConfigSCT())
+//	page := sys.AllocPage(0)
+//	_, res := sys.Read(0, page.Block(0)) // cold: Fig. 5 path 4
+//	fmt.Println(res.Latency, res.Report.Path)
+//
+// All timing is simulated cycles: results are exactly reproducible and
+// independent of the host machine (Go's GC and scheduler make wall-clock
+// timing side channels impractical, so the simulator is the substrate —
+// see DESIGN.md for the substitution rationale).
+package metaleak
+
+import (
+	"metaleak/internal/arch"
+	"metaleak/internal/core"
+	"metaleak/internal/jpeg"
+	"metaleak/internal/machine"
+	"metaleak/internal/mpi"
+	"metaleak/internal/victim"
+)
+
+// Re-exported machine configuration and construction.
+type (
+	// DesignPoint describes one complete secure-processor configuration.
+	DesignPoint = machine.DesignPoint
+	// System is an assembled simulated machine.
+	System = machine.System
+	// CounterKind selects the encryption counter scheme (§IV-A).
+	CounterKind = machine.CounterKind
+	// TreeKind selects the integrity tree design (§IV-C).
+	TreeKind = machine.TreeKind
+)
+
+// Counter schemes and integrity trees (§IV).
+const (
+	CounterGC  = machine.CounterGC
+	CounterMoC = machine.CounterMoC
+	CounterSC  = machine.CounterSC
+	TreeHT     = machine.TreeHT
+	TreeSCT    = machine.TreeSCT
+	TreeSIT    = machine.TreeSIT
+)
+
+// NewSystem builds the simulated secure processor for a design point.
+func NewSystem(dp DesignPoint) *System { return machine.NewSystem(dp) }
+
+// ConfigSCT returns the paper's primary simulated design (Table I top).
+func ConfigSCT() DesignPoint { return machine.ConfigSCT() }
+
+// ConfigHT returns the hash-tree design (Table I).
+func ConfigHT() DesignPoint { return machine.ConfigHT() }
+
+// ConfigSGX returns the SGX hardware calibration (Table I bottom).
+func ConfigSGX() DesignPoint { return machine.ConfigSGX() }
+
+// Re-exported simulator vocabulary.
+type (
+	// Addr is a simulated physical address.
+	Addr = arch.Addr
+	// BlockID identifies a 64-byte block.
+	BlockID = arch.BlockID
+	// PageID identifies a 4-KiB page.
+	PageID = arch.PageID
+	// Cycles counts simulated processor cycles.
+	Cycles = arch.Cycles
+)
+
+// Re-exported attack framework (§VI).
+type (
+	// Attacker is one attacking process and its toolkit.
+	Attacker = core.Attacker
+	// Monitor is the mEvict+mReload primitive bound to one shared node.
+	Monitor = core.Monitor
+	// MonitorSpec parameterizes monitor construction.
+	MonitorSpec = core.MonitorSpec
+	// CounterMonitor is the mPreset+mOverflow primitive.
+	CounterMonitor = core.CounterMonitor
+	// DualMonitor classifies victim steps between two watched pages.
+	DualMonitor = core.DualMonitor
+	// CovertT is the MetaLeak-T covert channel.
+	CovertT = core.CovertT
+	// CovertC is the MetaLeak-C covert channel.
+	CovertC = core.CovertC
+	// EvictionSet is a set of attacker blocks displacing one metadata set.
+	EvictionSet = core.EvictionSet
+)
+
+// NewAttacker binds an attacker to a core of the system.
+func NewAttacker(sys *System, coreID int, privileged bool) *Attacker {
+	return core.NewAttacker(sys.System, sys.Ctrl, coreID, privileged)
+}
+
+// NewCovertT builds a MetaLeak-T covert channel between two attackers.
+func NewCovertT(trojan, spy *Attacker, level int) (*CovertT, error) {
+	return core.NewCovertT(trojan, spy, level)
+}
+
+// NewCovertC builds a MetaLeak-C covert channel between two attackers.
+func NewCovertC(trojan, spy *Attacker, anchor PageID, childLevel int) (*CovertC, error) {
+	return core.NewCovertC(trojan, spy, anchor, childLevel)
+}
+
+// Re-exported victim layer (§VIII).
+type (
+	// Proc is a victim process on the machine.
+	Proc = victim.Proc
+	// Interleave is the attacker's per-step synchronization handle.
+	Interleave = victim.Interleave
+	// JPEGVictim is the libjpeg-style image compression victim.
+	JPEGVictim = victim.JPEGVictim
+	// RSAVictim is the libgcrypt-style square-and-multiply victim.
+	RSAVictim = victim.RSAVictim
+	// KeyLoadVictim is the mbedTLS-style private-key-loading victim.
+	KeyLoadVictim = victim.KeyLoadVictim
+	// CoefTrace is a JPEG victim's ground-truth coefficient trace.
+	CoefTrace = victim.CoefTrace
+	// Op labels one leaky victim operation.
+	Op = victim.Op
+)
+
+// NewProc binds a victim process to a core.
+func NewProc(sys *System, coreID int) *Proc { return victim.NewProc(sys.System, coreID) }
+
+// NewJPEGVictim builds a JPEG victim with freshly allocated variable pages.
+func NewJPEGVictim(p *Proc) *JPEGVictim { return victim.NewJPEGVictim(p) }
+
+// NewRSAVictim builds an RSA victim with freshly allocated function pages.
+func NewRSAVictim(p *Proc) *RSAVictim { return victim.NewRSAVictim(p) }
+
+// NewKeyLoadVictim builds a key-loading victim with fresh function pages.
+func NewKeyLoadVictim(p *Proc) *KeyLoadVictim { return victim.NewKeyLoadVictim(p) }
+
+// Re-exported substrates useful to library users.
+type (
+	// Image is an 8-bit grayscale image.
+	Image = jpeg.Image
+	// Int is an arbitrary-precision integer (the mpi substrate).
+	Int = mpi.Int
+)
+
+// Synthetic generates a deterministic test image (see jpeg.Synthetic).
+func Synthetic(kind string, w, h int) (*Image, error) {
+	return jpeg.Synthetic(jpeg.SyntheticKind(kind), w, h)
+}
+
+// Victim operation labels (§VIII-B).
+const (
+	OpSquare   = victim.OpSquare
+	OpMultiply = victim.OpMultiply
+	OpShift    = victim.OpShift
+	OpSub      = victim.OpSub
+)
+
+// VolumeMonitor is the mEvict+mReload variant for randomized metadata
+// caches (volume-based eviction, §IX-B / Fig. 18).
+type VolumeMonitor = core.VolumeMonitor
+
+// LevelReport is the attacker's per-level reconnaissance result (see
+// Attacker.ProbeLevels).
+type LevelReport = core.LevelReport

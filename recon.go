@@ -1,0 +1,93 @@
+package metaleak
+
+import (
+	"io"
+
+	"metaleak/internal/arch"
+	"metaleak/internal/jpeg"
+	"metaleak/internal/mpi"
+	"metaleak/internal/reconstruct"
+	"metaleak/internal/victim"
+)
+
+// Attacker post-processing, re-exported from internal/reconstruct.
+
+// ImageFromTrace rebuilds an image from a leaked zero/non-zero AC
+// coefficient trace (the attacker's local pipeline of §VIII-A1).
+func ImageFromTrace(nonZero []bool, w, h, quality int) *Image {
+	return reconstruct.ImageFromTrace(nonZero, w, h, quality)
+}
+
+// OracleImage renders the ground-truth reconstruction for a victim trace.
+func OracleImage(tr *CoefTrace) *Image { return reconstruct.OracleImage(tr) }
+
+// TraceAccuracy is the paper's stealing accuracy of a recovered
+// coefficient trace against the oracle.
+func TraceAccuracy(got, oracle []bool) float64 {
+	return reconstruct.TraceAccuracy(got, oracle)
+}
+
+// OpAccuracy scores a recovered operation trace against the oracle's.
+func OpAccuracy(got, oracle []Op) float64 {
+	return reconstruct.OpAccuracy([]victim.Op(got), []victim.Op(oracle))
+}
+
+// ExponentFromOps decodes a square-and-multiply trace into exponent bits.
+func ExponentFromOps(ops []Op) []uint {
+	return reconstruct.ExponentFromOps(ops)
+}
+
+// BitsOfExponent returns an exponent's bits MSB-first.
+func BitsOfExponent(e Int) []uint { return reconstruct.BitsOfExponent(e) }
+
+// BitAccuracy scores recovered bits positionally against the true ones.
+func BitAccuracy(got, want []uint) float64 { return reconstruct.BitAccuracy(got, want) }
+
+// AlignedAccuracy scores recovered bits with edit-distance alignment.
+func AlignedAccuracy(got, want []uint) float64 { return reconstruct.AlignedAccuracy(got, want) }
+
+// PixelSimilarity reports a [0,1] similarity between two images.
+func PixelSimilarity(a, b *Image) float64 { return reconstruct.PixelSimilarity(a, b) }
+
+// NewInt returns an Int with the given value (mpi substrate).
+func NewInt(v uint64) Int { return mpi.New(v) }
+
+// IntFromHex parses a hexadecimal Int; it panics on invalid input.
+func IntFromHex(s string) Int { return mpi.FromHex(s) }
+
+// RandomPrime generates a probable prime of the given bit length using a
+// deterministic seeded generator.
+func RandomPrime(seed uint64, bits int) Int {
+	return mpi.RandomPrime(arch.NewRNG(seed), bits)
+}
+
+// ReadPGM parses a binary PGM (P5) image.
+func ReadPGM(r io.Reader) (*Image, error) { return jpeg.ReadPGM(r) }
+
+// WritePGM serializes an image as binary PGM (P5).
+func WritePGM(w io.Writer, im *Image) error { return jpeg.WritePGM(w, im) }
+
+// WriteJPEG compresses the image at the given quality and writes a real
+// baseline JFIF file.
+func WriteJPEG(w io.Writer, im *Image, quality int) error {
+	return (&jpeg.Encoder{Quality: quality}).EncodeFile(w, im)
+}
+
+// ReadJPEG decodes a JFIF file written by WriteJPEG.
+func ReadJPEG(r io.Reader) (*Image, error) { return jpeg.DecodeFile(r) }
+
+// ImageRGB is an 8-bit RGB image (the color-codec substrate).
+type ImageRGB = jpeg.ImageRGB
+
+// SyntheticRGB generates a deterministic color test pattern.
+func SyntheticRGB(kind string, w, h int) (*ImageRGB, error) {
+	return jpeg.SyntheticRGB(jpeg.SyntheticKind(kind), w, h)
+}
+
+// WriteColorJPEG writes a baseline YCbCr 4:4:4 JFIF file.
+func WriteColorJPEG(w io.Writer, im *ImageRGB, quality int) error {
+	return jpeg.EncodeColorFile(w, im, quality)
+}
+
+// ReadColorJPEG decodes a JFIF file written by WriteColorJPEG.
+func ReadColorJPEG(r io.Reader) (*ImageRGB, error) { return jpeg.DecodeColorFile(r) }

@@ -1,0 +1,19 @@
+package metaleak
+
+import (
+	"metaleak/internal/sim"
+	"metaleak/internal/trace"
+)
+
+// Access tracing, re-exported from internal/trace.
+
+type (
+	// TraceEvent describes one completed demand access.
+	TraceEvent = sim.TraceEvent
+	// TraceRecorder captures recent accesses in a ring buffer.
+	TraceRecorder = trace.Recorder
+)
+
+// NewTraceRecorder builds a recorder holding up to capacity events;
+// attach it with rec.Attach(sys.System) or sys.SetTraceHook(rec.Hook()).
+func NewTraceRecorder(capacity int) *TraceRecorder { return trace.New(capacity) }
