@@ -1,0 +1,26 @@
+# Verification gate. `make check` is the command CI runs: the tree must
+# build, pass vet, satisfy the determinism contract (cmd/metalint), and
+# pass the race-enabled test suite.
+
+GO ?= go
+
+.PHONY: check build vet metalint test fuzz-smoke
+
+check: vet metalint test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+metalint:
+	$(GO) run ./cmd/metalint ./...
+
+test:
+	$(GO) test -race ./...
+
+# Ten seconds of coverage-guided fuzzing on the trace codec: cheap
+# enough for CI, long enough to catch a decoder regression.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzTraceRoundTrip -fuzztime=10s ./internal/trace

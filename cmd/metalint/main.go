@@ -1,0 +1,150 @@
+// Command metalint enforces the simulator's determinism contract: all
+// timing is simulated cycles, all randomness is seeded, all iteration
+// that feeds results is ordered. It loads every package of the module
+// with full type information (standard library only — no external
+// analysis frameworks) and runs the analyzers of internal/analysis.
+//
+// Usage:
+//
+//	metalint [-json] [-only a,b] [pattern ...]   # default pattern ./...
+//	metalint -list                               # describe the analyzers
+//
+// Exit codes (the verification-gate contract — metalint never rewrites
+// source, so a non-zero exit always means human attention):
+//
+//	0  no findings
+//	1  findings reported
+//	2  the tree failed to load or type-check
+//
+// Findings are suppressed case by case with a directive comment on the
+// flagged line or the line directly above it:
+//
+//	//metalint:allow <analyzer>[,<analyzer>...] [reason]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+
+	"metaleak/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("metalint", flag.ContinueOnError)
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	dir := fs.String("C", "", "run as if launched from this directory")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range analysis.All {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := analysis.All
+	if *only != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			a := analysis.ByName(name)
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "metalint: unknown analyzer %q (try -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	start := *dir
+	if start == "" {
+		wd, err := os.Getwd()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "metalint:", err)
+			return 2
+		}
+		start = wd
+	}
+	root, module, err := findModule(start)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "metalint:", err)
+		return 2
+	}
+
+	loader := analysis.NewLoader(analysis.Config{Dir: root, Module: module})
+	pkgs, err := loader.Load(fs.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "metalint:", err)
+		return 2
+	}
+	if errs := analysis.FirstTypeErrors(pkgs, 10); len(errs) > 0 {
+		fmt.Fprintln(os.Stderr, "metalint: tree does not type-check; findings would be unreliable:")
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, "  "+e)
+		}
+		return 2
+	}
+
+	res := analysis.Run(pkgs, analyzers)
+	res.Relativize(root)
+	if *asJSON {
+		if err := res.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "metalint:", err)
+			return 2
+		}
+	} else {
+		if err := res.WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "metalint:", err)
+			return 2
+		}
+		if n := len(res.Diagnostics); n > 0 {
+			fmt.Fprintf(os.Stderr, "metalint: %d finding(s)", n)
+			if res.Suppressed > 0 {
+				fmt.Fprintf(os.Stderr, " (%d suppressed by //metalint:allow)", res.Suppressed)
+			}
+			fmt.Fprintln(os.Stderr)
+		}
+	}
+	if len(res.Diagnostics) > 0 {
+		return 1
+	}
+	return 0
+}
+
+var moduleRE = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root and module path.
+func findModule(dir string) (root, module string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, readErr := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if readErr == nil {
+			m := moduleRE.FindSubmatch(data)
+			if m == nil {
+				return "", "", fmt.Errorf("%s/go.mod has no module directive", dir)
+			}
+			return dir, string(m[1]), nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

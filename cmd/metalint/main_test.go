@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestListExitsClean(t *testing.T) {
+	if code := run([]string{"-list"}); code != 0 {
+		t.Fatalf("-list exited %d, want 0", code)
+	}
+}
+
+func TestUnknownAnalyzerIsUsageError(t *testing.T) {
+	if code := run([]string{"-only", "no-such-analyzer"}); code != 2 {
+		t.Fatalf("unknown analyzer exited %d, want 2", code)
+	}
+}
+
+func TestFindModule(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "a", "b")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module example.com/mod\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	root, module, err := findModule(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if module != "example.com/mod" {
+		t.Errorf("module = %q, want example.com/mod", module)
+	}
+	// Resolve symlinks before comparing: t.TempDir may sit behind one.
+	wantRoot, _ := filepath.EvalSymlinks(dir)
+	gotRoot, _ := filepath.EvalSymlinks(root)
+	if gotRoot != wantRoot {
+		t.Errorf("root = %q, want %q", gotRoot, wantRoot)
+	}
+}
+
+func TestFindModuleMissing(t *testing.T) {
+	// A temp dir outside any module must fail cleanly. t.TempDir lives
+	// under /tmp, which has no go.mod above it on any sane system.
+	if _, _, err := findModule(t.TempDir()); err == nil {
+		t.Skip("a go.mod exists above the temp dir; environment-specific")
+	}
+}
+
+func TestGateOnOwnTree(t *testing.T) {
+	// The repo must stay metalint-clean: this is the same invariant
+	// `make check` enforces, kept inside `go test` so plain test runs
+	// catch a regression too.
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	if code := run([]string{"-C", "../.."}); code != 0 {
+		t.Fatalf("metalint on its own tree exited %d, want 0", code)
+	}
+}

@@ -1,0 +1,64 @@
+package metaleak
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// TestCovertChannelDeterminism is the dynamic guard behind what
+// cmd/metalint enforces statically: one seed, one result. It runs a
+// small MetaLeak-T covert-channel experiment twice with the same seed
+// and requires the two runs to be byte-identical — the decoded message,
+// the final cycle count, the tamper counter, and the full access trace
+// in both CSV and binary form. Any wall-clock dependence, unseeded
+// randomness, or map-order effect in a simulation path shows up here as
+// a diff.
+func TestCovertChannelDeterminism(t *testing.T) {
+	run := func(seed uint64) []byte {
+		dp := ConfigSCT()
+		dp.Seed = seed
+		sys := NewSystem(dp)
+		rec := NewTraceRecorder(1 << 14)
+		rec.Attach(sys.System)
+
+		trojan := NewAttacker(sys, 0, false)
+		spy := NewAttacker(sys, 1, false)
+		ch, err := NewCovertT(trojan, spy, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decoded := ch.SendString("OK")
+
+		var buf bytes.Buffer
+		fmt.Fprintf(&buf, "decoded=%q accuracy=%v now=%d tampered=%d events=%d\n",
+			decoded, ch.Accuracy(), sys.Now(), sys.TamperDetections(), rec.Total())
+		if err := rec.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		bin, err := rec.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(bin)
+		return buf.Bytes()
+	}
+
+	first := run(0xC0FFEE)
+	second := run(0xC0FFEE)
+	if !bytes.Equal(first, second) {
+		max := len(first)
+		if len(second) < max {
+			max = len(second)
+		}
+		at := max
+		for i := 0; i < max; i++ {
+			if first[i] != second[i] {
+				at = i
+				break
+			}
+		}
+		t.Fatalf("two runs with one seed diverge (lengths %d vs %d, first diff at byte %d): determinism contract broken",
+			len(first), len(second), at)
+	}
+}

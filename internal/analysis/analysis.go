@@ -1,0 +1,204 @@
+// Package analysis is the static-analysis framework behind cmd/metalint:
+// it loads every package of the repository with full type information
+// (stdlib only — go/parser, go/types, and the source importer; no module
+// dependencies) and runs determinism analyzers over them.
+//
+// The simulator's results are only meaningful if "time" always means
+// simulated cycles and every run with one seed is byte-identical. That
+// contract cannot be guarded by tests alone — a single stray time.Now or
+// an order-dependent range over a map silently perturbs every experiment
+// — so it is enforced statically. Each invariant is an Analyzer; the
+// Pass abstraction gives analyzers a shared file set, type info,
+// diagnostics with file:line:col positions, and allow-directive
+// suppression, so follow-on invariants are cheap to add.
+//
+// # Allow directives
+//
+// A finding is suppressed by a directive comment on the flagged line or
+// on the line directly above it:
+//
+//	//metalint:allow <analyzer>[,<analyzer>...] [reason]
+//
+// The reason is free text and encouraged: directives are grep-able
+// documentation of every intentional exception to the determinism
+// contract.
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned at file:line:col.
+type Diagnostic struct {
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Analyzer string         `json:"analyzer"`
+	Message  string         `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// Analyzer is one invariant checker. Run inspects a single package and
+// reports findings through the Pass.
+type Analyzer struct {
+	// Name is the identifier used in output and in allow directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant.
+	Doc string
+	// Match restricts the analyzer to packages for which it returns
+	// true; nil applies the analyzer to every package.
+	Match func(pkgPath string) bool
+	// Run performs the analysis on pass.Pkg.
+	Run func(pass *Pass)
+}
+
+// All lists the registered analyzers in stable output order.
+var All = []*Analyzer{
+	WallClock,
+	GlobalRand,
+	MapOrder,
+	CycleLeak,
+	FloatCycles,
+}
+
+// ByName returns the registered analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Pass carries the per-(analyzer, package) state handed to Analyzer.Run.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags      *[]Diagnostic
+	suppressed *int
+}
+
+// Reportf records a finding at pos unless an allow directive for this
+// analyzer covers the position.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	if p.Pkg.allowedAt(p.Analyzer.Name, position) {
+		*p.suppressed++
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Result is the outcome of running a set of analyzers over a set of
+// packages.
+type Result struct {
+	Diagnostics []Diagnostic
+	// Suppressed counts findings silenced by allow directives.
+	Suppressed int
+}
+
+// Run applies each analyzer to each package it matches and returns the
+// findings sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) Result {
+	var res Result
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a.Match != nil && !a.Match(pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer:   a,
+				Pkg:        pkg,
+				diags:      &res.Diagnostics,
+				suppressed: &res.Suppressed,
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(res.Diagnostics, func(i, j int) bool {
+		a, b := res.Diagnostics[i], res.Diagnostics[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return res
+}
+
+// Relativize rewrites diagnostic file names relative to base (when
+// possible) for stable, readable output.
+func (r *Result) Relativize(base string) {
+	for i := range r.Diagnostics {
+		d := &r.Diagnostics[i]
+		if rel, err := filepath.Rel(base, d.File); err == nil && !strings.HasPrefix(rel, "..") {
+			d.File = filepath.ToSlash(rel)
+		}
+	}
+}
+
+// WriteText renders findings one per line in file:line:col form.
+func (r *Result) WriteText(w io.Writer) error {
+	for _, d := range r.Diagnostics {
+		if _, err := fmt.Fprintln(w, d.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders findings as a JSON array (empty array, not null,
+// when the tree is clean, so consumers can always index the result).
+func (r *Result) WriteJSON(w io.Writer) error {
+	diags := r.Diagnostics
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(diags)
+}
+
+// pathHasSuffixSegment reports whether the import path is, or ends with,
+// the given slash-separated segment sequence (e.g. "internal/sim"
+// matches both "internal/sim" and "metaleak/internal/sim" but not
+// "internal/simulator").
+func pathHasSuffixSegment(path, segs string) bool {
+	return path == segs || strings.HasSuffix(path, "/"+segs)
+}
+
+// matchAnyPkg builds a Match function from package path segments.
+func matchAnyPkg(segs ...string) func(string) bool {
+	return func(path string) bool {
+		for _, s := range segs {
+			if pathHasSuffixSegment(path, s) {
+				return true
+			}
+		}
+		return false
+	}
+}

@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// cycleAccountedPkgs are the packages whose functions return latency
+// values that callers are expected to fold into cycle accounting.
+var cycleAccountedPkgs = []string{
+	"internal/sim",
+	"internal/cache",
+	"internal/dram",
+	"internal/itree",
+	"internal/ctr",
+}
+
+// CycleLeak flags calls in the cycle-accounted packages whose
+// arch.Cycles result is discarded — either a bare call statement or a
+// blank-assigned result. A dropped latency silently deletes time from
+// the simulation: the access happened, state changed, but the clock
+// never advanced, skewing every downstream timing measurement. A call
+// whose latency is intentionally irrelevant must say so:
+//
+//	//metalint:allow cycleleak warm-up access, latency folded in later
+var CycleLeak = &Analyzer{
+	Name: "cycleleak",
+	Doc: "flag discarded arch.Cycles results (bare or _-assigned calls) in " +
+		"internal/sim, internal/cache, internal/dram, internal/itree, and " +
+		"internal/ctr: dropped latencies silently corrupt cycle accounting",
+	Match: matchAnyPkg(cycleAccountedPkgs...),
+	Run:   runCycleLeak,
+}
+
+func runCycleLeak(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := unparen(n.X).(*ast.CallExpr); ok {
+					checkDiscardedCall(pass, call)
+				}
+			case *ast.DeferStmt:
+				checkDiscardedCall(pass, n.Call)
+			case *ast.GoStmt:
+				checkDiscardedCall(pass, n.Call)
+			case *ast.AssignStmt:
+				checkBlankAssign(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkDiscardedCall reports a statement-position call that returns one
+// or more arch.Cycles values (all of which are necessarily dropped).
+func checkDiscardedCall(pass *Pass, call *ast.CallExpr) {
+	if isConversion(pass.Pkg.Info, call) {
+		return
+	}
+	t := pass.Pkg.Info.TypeOf(call)
+	if t == nil {
+		return
+	}
+	if !resultHasCycles(t) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"result of %s includes arch.Cycles but the call discards it: account the latency or annotate //metalint:allow cycleleak",
+		callName(pass.Pkg.Info, call))
+}
+
+// checkBlankAssign reports arch.Cycles results assigned to the blank
+// identifier.
+func checkBlankAssign(pass *Pass, as *ast.AssignStmt) {
+	// Multi-value form: v, _ := f()
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		call, ok := unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || isConversion(pass.Pkg.Info, call) {
+			return
+		}
+		tuple, ok := pass.Pkg.Info.TypeOf(call).(*types.Tuple)
+		if !ok {
+			return
+		}
+		for i := 0; i < tuple.Len() && i < len(as.Lhs); i++ {
+			if isBlank(as.Lhs[i]) && isCyclesType(tuple.At(i).Type()) {
+				pass.Reportf(as.Lhs[i].Pos(),
+					"arch.Cycles result %d of %s assigned to _: account the latency or annotate //metalint:allow cycleleak",
+					i, callName(pass.Pkg.Info, call))
+			}
+		}
+		return
+	}
+	// Paired form: _ = f(), _, _ = f(), g()
+	for i, rhs := range as.Rhs {
+		if i >= len(as.Lhs) || !isBlank(as.Lhs[i]) {
+			continue
+		}
+		call, ok := unparen(rhs).(*ast.CallExpr)
+		if !ok || isConversion(pass.Pkg.Info, call) {
+			continue
+		}
+		t := pass.Pkg.Info.TypeOf(call)
+		if t != nil && isCyclesType(t) {
+			pass.Reportf(as.Lhs[i].Pos(),
+				"arch.Cycles result of %s assigned to _: account the latency or annotate //metalint:allow cycleleak",
+				callName(pass.Pkg.Info, call))
+		}
+	}
+}
+
+// resultHasCycles reports whether the call result type (single value or
+// tuple) contains an arch.Cycles component.
+func resultHasCycles(t types.Type) bool {
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isCyclesType(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isCyclesType(t)
+}
+
+// callName renders a readable name for the called function.
+func callName(info *types.Info, call *ast.CallExpr) string {
+	if obj := callee(info, call); obj != nil {
+		if fn, ok := obj.(*types.Func); ok {
+			return fn.FullName()
+		}
+		return obj.Name()
+	}
+	return types.ExprString(call.Fun)
+}
+
+// isBlank reports whether the expression is the blank identifier.
+func isBlank(e ast.Expr) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	return ok && id.Name == "_"
+}

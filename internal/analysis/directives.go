@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// allowRE matches the suppression directive:
+//
+//	//metalint:allow wallclock reason...
+//	//metalint:allow maporder,cycleleak -- reason...
+//
+// The directive must start the comment (no leading space before
+// "metalint:", mirroring //go: directives).
+var allowRE = regexp.MustCompile(`^//metalint:allow[ \t]+([a-zA-Z0-9_,-]+)`)
+
+// allowSet maps file name -> line -> analyzer names allowed there.
+type allowSet map[string]map[int]map[string]bool
+
+// collectAllows gathers every allow directive in the package's files. A
+// directive covers its own line (trailing comment) and the line directly
+// below it (preceding-line comment).
+func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
+	set := make(allowSet)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Slash)
+				lines := set[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					set[pos.Filename] = lines
+				}
+				names := lines[pos.Line]
+				if names == nil {
+					names = make(map[string]bool)
+					lines[pos.Line] = names
+				}
+				for _, name := range strings.Split(m[1], ",") {
+					names[strings.TrimSpace(name)] = true
+				}
+			}
+		}
+	}
+	return set
+}
+
+// allowedAt reports whether a finding by the named analyzer at the given
+// position is covered by a directive on the same line or the line above.
+func (p *Package) allowedAt(analyzer string, pos token.Position) bool {
+	lines := p.allows[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[pos.Line][analyzer] || lines[pos.Line-1][analyzer]
+}

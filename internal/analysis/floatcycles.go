@@ -1,0 +1,48 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FloatCycles forbids converting a non-constant floating-point
+// expression to arch.Cycles. Cycle accounting is exact integer
+// arithmetic; a float detour introduces rounding whose result can
+// depend on evaluation order and optimization level, breaking the
+// bit-for-bit reproducibility of latency traces. Scale factors must be
+// expressed as integer ratios (x*3/2, not Cycles(float64(x)*1.5));
+// constant conversions (Cycles(1.5e3)) are evaluated exactly by the
+// compiler and stay legal.
+var FloatCycles = &Analyzer{
+	Name: "floatcycles",
+	Doc: "forbid non-constant floating-point expressions converted to " +
+		"arch.Cycles: cycle accounting must stay in exact integer arithmetic",
+	Run: runFloatCycles,
+}
+
+func runFloatCycles(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			funTV, ok := pass.Pkg.Info.Types[unparen(call.Fun)]
+			if !ok || !funTV.IsType() || !isCyclesType(funTV.Type) {
+				return true
+			}
+			arg := unparen(call.Args[0])
+			argTV, ok := pass.Pkg.Info.Types[arg]
+			if !ok || argTV.Value != nil { // constant: exact, compiler-evaluated
+				return true
+			}
+			if !isFloat(argTV.Type) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"floating-point expression %s converted to arch.Cycles: express the scale as an integer ratio to keep cycle accounting exact",
+				types.ExprString(arg))
+			return true
+		})
+	}
+}

@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// GlobalRand forbids math/rand (and math/rand/v2) outside test files.
+// The global generators are process-seeded: two runs of the same
+// experiment draw different streams, so every stochastic component of
+// the simulator must instead draw from metaleak/internal/arch.RNG,
+// seeded from the experiment configuration.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc: "forbid math/rand outside tests: stochastic simulator components " +
+		"must use the seeded, deterministic arch.RNG so identical seeds give " +
+		"identical experiments",
+	Run: runGlobalRand,
+}
+
+func runGlobalRand(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		filename := pass.Pkg.Fset.Position(f.Package).Filename
+		if isTestFile(filename) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(),
+					"import of %s: use the seeded arch.RNG (metaleak/internal/arch) so experiments are reproducible",
+					path)
+			}
+		}
+		// Catch uses that slip past import inspection (dot imports).
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.Pkg.Info.Uses[id]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			if p := obj.Pkg().Path(); p == "math/rand" || p == "math/rand/v2" {
+				if _, isSel := pass.parentIsSelector(f, id); isSel {
+					return true // already covered by the import diagnostic
+				}
+				pass.Reportf(id.Pos(), "use of %s.%s: use the seeded arch.RNG instead", p, obj.Name())
+			}
+			return true
+		})
+	}
+}
+
+// parentIsSelector reports whether the identifier is the Sel of a
+// selector expression rooted at a package name (rand.Intn). Those uses
+// are already implied by the flagged import; only unqualified uses (dot
+// imports) need their own diagnostic.
+func (p *Pass) parentIsSelector(f *ast.File, id *ast.Ident) (ast.Node, bool) {
+	var parent ast.Node
+	found := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		if found || n == nil {
+			return false
+		}
+		if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel == id {
+			parent, found = sel, true
+			return false
+		}
+		return true
+	})
+	return parent, found
+}

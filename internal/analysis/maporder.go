@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// statefulPkgs are the packages whose calls advance simulator state:
+// issuing accesses, moving the cycle clock, mutating caches. Iterating
+// a map while calling into them makes the *order* of those state
+// transitions nondeterministic, which changes cache contents, latencies,
+// and ultimately experiment results between runs.
+var statefulPkgs = []string{"internal/sim", "internal/core"}
+
+// MapOrder flags `for … range` over a map whose body has order-sensitive
+// effects: appending to a slice declared outside the loop (element order
+// then depends on iteration order) or calling into the simulator
+// (internal/sim, internal/core). Two escapes exist: sort — an appended
+// slice that is subsequently passed to sort/slices in the same function
+// is considered canonicalized — and the allow directive for loops whose
+// effects are genuinely commutative:
+//
+//	//metalint:allow maporder summing is commutative
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "flag range over a map whose body appends to an outer slice or " +
+		"calls into internal/sim or internal/core: map iteration order is " +
+		"randomized per run, so such loops make experiments irreproducible " +
+		"unless the keys are sorted first",
+	Run: runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFuncMapRanges(pass, fd.Body, fd.Body)
+			}
+		}
+	}
+}
+
+// checkFuncMapRanges walks fn (a function body) finding map ranges. For
+// each, the sort-escape is searched in scope — the innermost function
+// literal body containing the loop, falling back to fn.
+func checkFuncMapRanges(pass *Pass, fn *ast.BlockStmt, scope *ast.BlockStmt) {
+	ast.Inspect(fn, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if n.Body != nil {
+				checkFuncMapRanges(pass, n.Body, n.Body)
+			}
+			return false
+		case *ast.RangeStmt:
+			t := pass.Pkg.Info.TypeOf(n.X)
+			if t == nil {
+				return true
+			}
+			if _, ok := t.Underlying().(*types.Map); !ok {
+				return true
+			}
+			checkMapRange(pass, n, scope)
+		}
+		return true
+	})
+}
+
+// checkMapRange reports the first order-sensitive effect in the loop
+// body, if any.
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, scope *ast.BlockStmt) {
+	var offense string
+	var offensePos = rs.For
+	found := false
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := unparen(rhs).(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass.Pkg.Info, call) || i >= len(n.Lhs) {
+					continue
+				}
+				target := unparen(n.Lhs[i])
+				if declaredWithin(pass.Pkg.Info, target, rs) {
+					continue
+				}
+				if sortedAfter(pass.Pkg.Info, scope, rs, target) {
+					continue
+				}
+				offense = fmt.Sprintf("appends to %s in map-iteration order", types.ExprString(target))
+				found = true
+				return false
+			}
+		case *ast.CallExpr:
+			obj := callee(pass.Pkg.Info, n)
+			if fn, ok := obj.(*types.Func); ok && objFromPackage(fn, statefulPkgs...) {
+				offense = fmt.Sprintf("calls %s, which advances simulator state, in map-iteration order", fn.FullName())
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	if !found {
+		return
+	}
+	pass.Reportf(offensePos,
+		"range over map %s is order-nondeterministic: %s; sort the keys first or annotate //metalint:allow maporder",
+		types.ExprString(rs.X), offense)
+}
+
+// isBuiltinAppend reports whether the call invokes the append builtin.
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// declaredWithin reports whether the expression names a variable whose
+// declaration lies inside the range statement (loop-local accumulation
+// is order-safe — it dies with the iteration).
+func declaredWithin(info *types.Info, target ast.Expr, rs *ast.RangeStmt) bool {
+	id, ok := target.(*ast.Ident)
+	if !ok {
+		return false // selector/index targets are outer state
+	}
+	obj := info.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	return rs.Pos() <= obj.Pos() && obj.Pos() <= rs.End()
+}
+
+// sortedAfter reports whether, after the range loop, the enclosing
+// function passes the append target to a sort/slices function — the
+// collect-then-sort idiom that canonicalizes iteration order.
+func sortedAfter(info *types.Info, scope *ast.BlockStmt, rs *ast.RangeStmt, target ast.Expr) bool {
+	want := types.ExprString(target)
+	sorted := false
+	ast.Inspect(scope, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		obj := callee(info, call)
+		if obj == nil || obj.Pkg() == nil {
+			return true
+		}
+		if p := obj.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if types.ExprString(unparen(arg)) == want {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}

@@ -1,0 +1,6 @@
+// Package arch is a stub standing in for metaleak/internal/arch in the
+// cycleleak golden test.
+package arch
+
+// Cycles counts simulated processor cycles.
+type Cycles uint64

@@ -1,0 +1,48 @@
+// Package sim is a golden-test fixture for the cycleleak analyzer: its
+// import path ends in internal/sim, so it is in the cycle-accounted set.
+package sim
+
+import "internal/arch"
+
+var now arch.Cycles
+
+// Read models a latency-returning access.
+func Read(b uint64) arch.Cycles { return arch.Cycles(b % 7) }
+
+// ReadData models a value-plus-latency access.
+func ReadData(b uint64) (uint64, arch.Cycles) { return b, arch.Cycles(b % 7) }
+
+// Evict models a latency-free operation.
+func Evict(b uint64) {}
+
+// LeakBare discards the latency in statement position; flagged.
+func LeakBare(b uint64) {
+	Read(b)
+}
+
+// LeakBlank discards the latency via the blank identifier; flagged.
+func LeakBlank(b uint64) {
+	_ = Read(b)
+}
+
+// LeakTuple keeps the data but blanks the latency; flagged.
+func LeakTuple(b uint64) uint64 {
+	v, _ := ReadData(b)
+	return v
+}
+
+// Accounted folds the latency into the clock; clean.
+func Accounted(b uint64) {
+	now += Read(b)
+}
+
+// WarmAllowed discards the latency intentionally and says so; clean.
+func WarmAllowed(b uint64) {
+	//metalint:allow cycleleak fixture: warm-up access, latency irrelevant
+	Read(b)
+}
+
+// NoLatency calls a function with no cycle result; clean.
+func NoLatency(b uint64) {
+	Evict(b)
+}

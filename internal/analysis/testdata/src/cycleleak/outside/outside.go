@@ -1,0 +1,10 @@
+// Package outside is not in the cycle-accounted package set: discarding
+// a latency here is out of scope for cycleleak and must not be flagged.
+package outside
+
+import "internal/sim"
+
+// Discard drops a latency outside the accounted packages; clean.
+func Discard(b uint64) {
+	sim.Read(b)
+}

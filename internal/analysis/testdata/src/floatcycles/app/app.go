@@ -1,0 +1,26 @@
+// Package app is a golden-test fixture for the floatcycles analyzer.
+package app
+
+import "internal/arch"
+
+// ScaleBad routes a latency through floating point; flagged.
+func ScaleBad(lat arch.Cycles) arch.Cycles {
+	return arch.Cycles(float64(lat) * 1.5)
+}
+
+// ScaleGood expresses the same factor as an exact integer ratio; clean.
+func ScaleGood(lat arch.Cycles) arch.Cycles {
+	return lat * 3 / 2
+}
+
+// ConstGood converts a constant; the compiler evaluates it exactly, so
+// it is clean.
+func ConstGood() arch.Cycles {
+	return arch.Cycles(1.5e3)
+}
+
+// ScaleAllowed is annotated (e.g. a display-only estimate); clean.
+func ScaleAllowed(lat arch.Cycles) arch.Cycles {
+	//metalint:allow floatcycles fixture: display-only estimate
+	return arch.Cycles(float64(lat) * 0.5)
+}

@@ -1,0 +1,10 @@
+// Package gen is a golden-test fixture for the globalrand analyzer.
+package gen
+
+import "math/rand"
+
+// Jitter draws from the process-seeded global generator; the import is
+// flagged (one finding per offending import, not per call site).
+func Jitter(n int) int {
+	return rand.Intn(n) + rand.Intn(n)
+}

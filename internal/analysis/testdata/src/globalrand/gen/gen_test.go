@@ -1,0 +1,14 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Tests may use math/rand (shuffled inputs, property tests); this file
+// must not be flagged.
+func TestJitter(t *testing.T) {
+	if Jitter(1+rand.Intn(8)) < 0 {
+		t.Fatal("negative jitter")
+	}
+}

@@ -1,0 +1,10 @@
+package gen
+
+import (
+	//metalint:allow globalrand fixture: quarantined legacy shim
+	"math/rand"
+)
+
+// Legacy draws from the global generator under an allow directive; the
+// finding must be suppressed.
+func Legacy() int { return rand.Int() }

@@ -1,0 +1,57 @@
+// Package app is a golden-test fixture for the maporder analyzer.
+package app
+
+import (
+	"sort"
+
+	"internal/sim"
+)
+
+// DrainBad replays owned blocks in map-iteration order; the call into
+// sim advances simulator state, so the loop is flagged.
+func DrainBad(owned map[uint64]bool) {
+	for b := range owned {
+		sim.Touch(b)
+	}
+}
+
+// CollectBad builds a result slice in map-iteration order and never
+// sorts it; flagged.
+func CollectBad(counts map[string]int) []string {
+	var keys []string
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// CollectSorted uses the collect-then-sort idiom; the later sort
+// canonicalizes the order, so the loop is clean.
+func CollectSorted(counts map[string]int) []string {
+	var keys []string
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// DrainAllowed is annotated: the author asserts order does not matter.
+func DrainAllowed(owned map[uint64]bool) {
+	//metalint:allow maporder fixture: touches are asserted commutative
+	for b := range owned {
+		sim.Touch(b)
+	}
+}
+
+// Sum accumulates commutatively and appends only to a loop-local slice;
+// clean.
+func Sum(counts map[string]int) int {
+	total := 0
+	for _, v := range counts {
+		var parts []int
+		parts = append(parts, v)
+		total += parts[0]
+	}
+	return total
+}

@@ -1,0 +1,9 @@
+// Package sim is a stub standing in for metaleak/internal/sim in the
+// maporder golden test: its import path ends in internal/sim, so calls
+// into it count as advancing simulator state.
+package sim
+
+var clock uint64
+
+// Touch models a state-advancing access.
+func Touch(block uint64) { clock += block }

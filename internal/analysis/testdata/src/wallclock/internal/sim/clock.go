@@ -1,0 +1,23 @@
+// Package sim is a golden-test fixture for the wallclock analyzer.
+package sim
+
+import "time"
+
+// Elapsed uses the host clock twice; both uses must be flagged.
+func Elapsed() float64 {
+	start := time.Now()
+	work()
+	return time.Since(start).Seconds()
+}
+
+// Throttle sleeps, but is annotated; the finding must be suppressed.
+func Throttle() {
+	//metalint:allow wallclock fixture: sanctioned operator-side delay
+	time.Sleep(time.Millisecond)
+}
+
+// Format uses package time without touching the clock; time.Duration
+// formatting is not a wall-clock read and must not be flagged.
+func Format(d time.Duration) string { return d.String() }
+
+func work() {}

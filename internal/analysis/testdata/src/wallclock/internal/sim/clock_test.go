@@ -1,0 +1,15 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// Test files may time themselves; this use must not be flagged.
+func TestElapsed(t *testing.T) {
+	start := time.Now()
+	if Elapsed() < 0 {
+		t.Fatal("negative elapsed time")
+	}
+	_ = time.Since(start)
+}

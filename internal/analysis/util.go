@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// unparen strips redundant parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// callee resolves the object a call expression invokes: a package-level
+// function, a method, or a builtin. It returns nil for dynamic calls
+// (function values, interface methods resolve to the interface method
+// object) and for conversions.
+func callee(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// isConversion reports whether the call expression is a type conversion.
+func isConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[unparen(call.Fun)]
+	return ok && tv.IsType()
+}
+
+// isCyclesType reports whether t is the simulator's cycle-count type:
+// the named type Cycles declared in a package named arch. Matching by
+// package name rather than full import path lets the golden-test stubs
+// under testdata stand in for metaleak/internal/arch.
+func isCyclesType(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Cycles" && obj.Pkg() != nil && obj.Pkg().Name() == "arch"
+}
+
+// isFloat reports whether t's underlying type is a floating-point type
+// (including untyped float constants).
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isTestFile reports whether the position's file is a _test.go file.
+func isTestFile(filename string) bool {
+	return strings.HasSuffix(filename, "_test.go")
+}
+
+// objFromPackage reports whether obj is declared in a package whose
+// import path is, or ends with, one of the given segment suffixes.
+func objFromPackage(obj types.Object, segs ...string) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	for _, s := range segs {
+		if pathHasSuffixSegment(path, s) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// wallClockFuncs are the package time functions that observe or depend
+// on the host's clock. Referencing one from simulator code couples an
+// experiment to wall-clock time, which the determinism contract forbids:
+// all timing is simulated cycles (arch.Cycles) advanced by the model.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// WallClock forbids wall-clock time in simulator code. Operator-facing
+// progress output (e.g. cmd/metaleak's per-experiment runtime) is the
+// only legitimate use and must be annotated:
+//
+//	//metalint:allow wallclock progress output only, never in results
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc: "forbid time.Now/time.Since/time.Sleep and friends: all timing in " +
+		"the simulator is expressed in simulated cycles (arch.Cycles), never " +
+		"wall-clock time",
+	Run: runWallClock,
+}
+
+func runWallClock(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		filename := pass.Pkg.Fset.Position(f.Package).Filename
+		if isTestFile(filename) {
+			// Tests may time themselves (deadlines, t.Deadline
+			// plumbing); the contract covers simulation code.
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.Pkg.Info.Uses[id]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+				return true
+			}
+			if !wallClockFuncs[obj.Name()] {
+				return true
+			}
+			pass.Reportf(id.Pos(),
+				"time.%s reads the host clock: simulator timing must be simulated cycles (arch.Cycles); "+
+					"annotate operator-facing progress output with //metalint:allow wallclock",
+				obj.Name())
+			return true
+		})
+	}
+}

@@ -16,6 +16,7 @@ package ctr
 
 import (
 	"encoding/binary"
+	"sort"
 
 	"metaleak/internal/arch"
 )
@@ -272,10 +273,17 @@ func (m *MoC) Increment(b arch.BlockID) (uint64, *Overflow) {
 	ov := &Overflow{}
 	oldEpoch := m.epoch
 	m.epoch++
-	for blk, c := range m.counters {
-		if blk == b {
-			continue
+	// Re-encrypt in block order: the overflow burst becomes DRAM traffic,
+	// so its order must not depend on map iteration.
+	blocks := make([]arch.BlockID, 0, len(m.counters))
+	for blk := range m.counters {
+		if blk != b {
+			blocks = append(blocks, blk)
 		}
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	for _, blk := range blocks {
+		c := m.counters[blk]
 		ov.Reencrypt = append(ov.Reencrypt, Change{
 			Block: blk,
 			Old:   oldEpoch<<m.cfg.Bits | c,
@@ -359,10 +367,17 @@ func (g *GC) Increment(b arch.BlockID) (uint64, *Overflow) {
 	oldEpoch := g.epoch
 	g.epoch++
 	g.global = 0
-	for blk, snap := range g.snapshots {
-		if blk == b {
-			continue
+	// Re-encrypt in block order (see MoC.Increment): the burst's DRAM
+	// traffic order must not depend on map iteration.
+	blocks := make([]arch.BlockID, 0, len(g.snapshots))
+	for blk := range g.snapshots {
+		if blk != b {
+			blocks = append(blocks, blk)
 		}
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	for _, blk := range blocks {
+		snap := g.snapshots[blk]
 		// Under the new key every snapshot re-encrypts; values keep their
 		// snapshot but move to the new epoch.
 		ov.Reencrypt = append(ov.Reencrypt, Change{

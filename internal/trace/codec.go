@@ -1,0 +1,184 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"metaleak/internal/arch"
+	"metaleak/internal/secmem"
+	"metaleak/internal/sim"
+)
+
+// Binary trace format: the persistence layer for recorded traces, so an
+// experiment's raw access stream can be archived and re-analyzed without
+// re-running the simulation. The encoding is delta/varint-compressed:
+// recorded traces have slowly-advancing sequence numbers, clocks, and
+// block addresses, so consecutive events differ by small values and the
+// common event costs a handful of bytes instead of the ~60 of the raw
+// struct.
+//
+// Layout:
+//
+//	magic "MLT1"
+//	uvarint event count
+//	per event:
+//	  flags byte (bit0 Write, bit1 Overflow)
+//	  zigzag-varint delta of Seq, Now, Block (vs. previous event)
+//	  uvarint Latency
+//	  zigzag-varint Core, Path, TreeLevels
+//
+// Deltas are signed so any event slice round-trips, not only
+// time-ordered ones (the decoder must accept what a fuzzer or a foreign
+// writer produces without panicking).
+
+// codecMagic identifies the format; bump the digit on layout changes.
+const codecMagic = "MLT1"
+
+const (
+	flagWrite    = 1 << 0
+	flagOverflow = 1 << 1
+)
+
+// EncodeEvents serializes events into the binary trace format.
+func EncodeEvents(events []sim.TraceEvent) []byte {
+	buf := make([]byte, 0, len(codecMagic)+binary.MaxVarintLen64+20*len(events))
+	buf = append(buf, codecMagic...)
+	buf = binary.AppendUvarint(buf, uint64(len(events)))
+	var prev sim.TraceEvent
+	for _, ev := range events {
+		var flags byte
+		if ev.Write {
+			flags |= flagWrite
+		}
+		if ev.Overflow {
+			flags |= flagOverflow
+		}
+		buf = append(buf, flags)
+		buf = binary.AppendVarint(buf, int64(ev.Seq-prev.Seq))
+		buf = binary.AppendVarint(buf, int64(ev.Now-prev.Now))
+		buf = binary.AppendVarint(buf, int64(ev.Block-prev.Block))
+		buf = binary.AppendUvarint(buf, uint64(ev.Latency))
+		buf = binary.AppendVarint(buf, int64(ev.Core))
+		buf = binary.AppendVarint(buf, int64(ev.Path))
+		buf = binary.AppendVarint(buf, int64(ev.TreeLevels))
+		prev = ev
+	}
+	return buf
+}
+
+// decodeState walks the buffer with explicit error tracking so each
+// field read stays a one-liner.
+type decodeState struct {
+	buf []byte
+	err error
+}
+
+func (d *decodeState) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.err = fmt.Errorf("trace: truncated or malformed uvarint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decodeState) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf)
+	if n <= 0 {
+		d.err = fmt.Errorf("trace: truncated or malformed varint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decodeState) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf) == 0 {
+		d.err = fmt.Errorf("trace: truncated event")
+		return 0
+	}
+	b := d.buf[0]
+	d.buf = d.buf[1:]
+	return b
+}
+
+// DecodeEvents parses a binary trace produced by EncodeEvents. It
+// rejects malformed input with an error, never a panic, and bounds its
+// allocation by the input size rather than the claimed event count.
+func DecodeEvents(data []byte) ([]sim.TraceEvent, error) {
+	if len(data) < len(codecMagic) || string(data[:len(codecMagic)]) != codecMagic {
+		return nil, fmt.Errorf("trace: bad magic (not a %s trace)", codecMagic)
+	}
+	d := &decodeState{buf: data[len(codecMagic):]}
+	count := d.uvarint()
+	if d.err != nil {
+		return nil, d.err
+	}
+	// Each event occupies at least 8 bytes (flags + 7 one-byte varints);
+	// a count beyond that is lying about the payload.
+	if count > uint64(len(d.buf))/8 {
+		return nil, fmt.Errorf("trace: claimed %d events in %d payload bytes", count, len(d.buf))
+	}
+	events := make([]sim.TraceEvent, 0, count)
+	var prev sim.TraceEvent
+	for i := uint64(0); i < count; i++ {
+		flags := d.byte()
+		ev := sim.TraceEvent{
+			Write:    flags&flagWrite != 0,
+			Overflow: flags&flagOverflow != 0,
+		}
+		ev.Seq = prev.Seq + uint64(d.varint())
+		ev.Now = prev.Now + arch.Cycles(d.varint())
+		ev.Block = prev.Block + arch.BlockID(d.varint())
+		ev.Latency = arch.Cycles(d.uvarint())
+		ev.Core = int(d.varint())
+		ev.Path = secmem.Path(d.varint())
+		ev.TreeLevels = int(d.varint())
+		if d.err != nil {
+			return nil, fmt.Errorf("trace: event %d: %w", i, d.err)
+		}
+		events = append(events, ev)
+		prev = ev
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("trace: %d trailing bytes after %d events", len(d.buf), count)
+	}
+	return events, nil
+}
+
+// MarshalBinary serializes the recorder's retained events (oldest
+// first); the ring position and filter are not part of the format.
+func (r *Recorder) MarshalBinary() ([]byte, error) {
+	return EncodeEvents(r.Events()), nil
+}
+
+// UnmarshalBinary replaces the recorder's contents with the decoded
+// events (capacity permitting, oldest dropped first, as if they had
+// been recorded live).
+func (r *Recorder) UnmarshalBinary(data []byte) error {
+	events, err := DecodeEvents(data)
+	if err != nil {
+		return err
+	}
+	if r.capacity < 1 {
+		// A zero-value Recorder (the usual encoding.BinaryUnmarshaler
+		// receiver) sizes itself to hold the whole decoded trace.
+		r.capacity = max(1, len(events))
+	}
+	r.buf, r.start, r.total = nil, 0, 0
+	hook := r.Hook()
+	for _, ev := range events {
+		hook(ev)
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"metaleak/internal/arch"
+	"metaleak/internal/secmem"
+	"metaleak/internal/sim"
+)
+
+// sampleEvents builds a plausible recorded stream: advancing seq/clock,
+// clustered blocks, mixed paths — the shape the delta encoding targets.
+func sampleEvents(n int) []sim.TraceEvent {
+	events := make([]sim.TraceEvent, n)
+	now := arch.Cycles(1000)
+	for i := range events {
+		now += arch.Cycles(3 + i%200)
+		events[i] = sim.TraceEvent{
+			Seq:        uint64(i),
+			Now:        now,
+			Core:       i % 4,
+			Block:      arch.BlockID(1<<20 + i*64%4096),
+			Write:      i%3 == 0,
+			Latency:    arch.Cycles(4 + i%700),
+			Path:       secmem.Path(1 + i%5),
+			TreeLevels: i % 9,
+			Overflow:   i%97 == 0,
+		}
+	}
+	return events
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	cases := map[string][]sim.TraceEvent{
+		"empty":  {},
+		"single": sampleEvents(1),
+		"stream": sampleEvents(500),
+		"extremes": {
+			{Seq: math.MaxUint64, Now: math.MaxUint64, Block: math.MaxUint64,
+				Latency: math.MaxUint64, Core: math.MaxInt, Path: secmem.Path(math.MinInt),
+				TreeLevels: math.MinInt, Write: true, Overflow: true},
+			{}, // forces maximally negative deltas
+		},
+	}
+	for name, events := range cases {
+		data := EncodeEvents(events)
+		got, err := DecodeEvents(data)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if len(got) != len(events) {
+			t.Fatalf("%s: got %d events, want %d", name, len(got), len(events))
+		}
+		for i := range events {
+			if got[i] != events[i] {
+				t.Fatalf("%s: event %d = %+v, want %+v", name, i, got[i], events[i])
+			}
+		}
+	}
+}
+
+func TestCodecCompression(t *testing.T) {
+	events := sampleEvents(1000)
+	data := EncodeEvents(events)
+	perEvent := len(data) / len(events)
+	if perEvent > 16 {
+		t.Errorf("encoding averages %d bytes/event; the delta format should stay under 16", perEvent)
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	valid := EncodeEvents(sampleEvents(8))
+	cases := map[string][]byte{
+		"empty":        {},
+		"bad magic":    []byte("XXXX\x00"),
+		"short magic":  []byte("ML"),
+		"truncated":    valid[:len(valid)-3],
+		"trailing":     append(append([]byte{}, valid...), 0xfe),
+		"lying count":  append([]byte(codecMagic), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01),
+		"no count":     []byte(codecMagic),
+		"giant varint": append([]byte(codecMagic), 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80),
+	}
+	for name, data := range cases {
+		if _, err := DecodeEvents(data); err == nil {
+			t.Errorf("%s: decode accepted malformed input", name)
+		}
+	}
+}
+
+func TestRecorderBinaryRoundTrip(t *testing.T) {
+	r := New(64)
+	hook := r.Hook()
+	for _, ev := range sampleEvents(100) { // overflows the ring: keeps last 64
+		hook(ev)
+	}
+	data, err := r.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := New(64)
+	if err := r2.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r2.Events(), r.Events()) {
+		t.Error("recorder round-trip changed the retained events")
+	}
+
+	// encoding.BinaryUnmarshaler is conventionally driven through a
+	// zero-value receiver; it must size itself to the decoded trace.
+	var r3 Recorder
+	if err := r3.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r3.Events(), r.Events()) {
+		t.Error("zero-value recorder round-trip changed the retained events")
+	}
+}
+
+// FuzzTraceRoundTrip feeds arbitrary bytes to the decoder: it must never
+// panic, and whatever it accepts must survive encode/decode unchanged
+// (the canonical-form round-trip).
+func FuzzTraceRoundTrip(f *testing.F) {
+	// Seed corpus: real-shaped traces (the delta encoder's target
+	// distribution), the empty trace, edge values, and junk.
+	f.Add(EncodeEvents(sampleEvents(50)))
+	f.Add(EncodeEvents(sampleEvents(1)))
+	f.Add(EncodeEvents(nil))
+	f.Add(EncodeEvents([]sim.TraceEvent{{Seq: math.MaxUint64, Core: -1, Path: -7, TreeLevels: -1}}))
+	f.Add([]byte(codecMagic))
+	f.Add([]byte("not a trace at all"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events, err := DecodeEvents(data)
+		if err != nil {
+			return // malformed input is fine, panicking is not
+		}
+		reenc := EncodeEvents(events)
+		again, err := DecodeEvents(reenc)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded trace failed: %v", err)
+		}
+		if len(again) != len(events) {
+			t.Fatalf("round trip changed event count: %d -> %d", len(events), len(again))
+		}
+		for i := range events {
+			if again[i] != events[i] {
+				t.Fatalf("round trip changed event %d: %+v -> %+v", i, events[i], again[i])
+			}
+		}
+	})
+}
