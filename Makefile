@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet metalint test fuzz-smoke
+.PHONY: check build vet metalint test fuzz-smoke bench
 
 check: vet metalint test
 
@@ -24,3 +24,9 @@ test:
 # enough for CI, long enough to catch a decoder regression.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzTraceRoundTrip -fuzztime=10s ./internal/trace
+
+# Sequential vs GOMAXPROCS-parallel wall-clock over the full experiment
+# registry: the speedup the spec/trial/merge harness buys on this
+# machine (the outputs are byte-identical either way).
+bench:
+	$(GO) test -run='^$$' -bench='^BenchmarkRunAll' -benchtime=1x .

@@ -7,6 +7,8 @@ package metaleak
 // evaluation.
 
 import (
+	"context"
+	"runtime"
 	"testing"
 
 	"metaleak/internal/experiments"
@@ -30,12 +32,12 @@ func benchOpts() experiments.Options {
 // iteration.
 func runExperiment(b *testing.B, id string) {
 	b.Helper()
-	fn, ok := experiments.Registry[id]
-	if !ok {
+	if _, ok := experiments.Registry[id]; !ok {
 		b.Fatalf("unknown experiment %q", id)
 	}
+	ctx := context.Background()
 	o := benchOpts()
-	res, err := fn(o)
+	res, err := experiments.Run(ctx, id, o, 1)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -43,11 +45,35 @@ func runExperiment(b *testing.B, id string) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		o.Seed = uint64(i + 1)
-		if _, err := fn(o); err != nil {
+		if _, err := experiments.Run(ctx, id, o, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
+
+// runAll regenerates the whole evaluation at the given trial
+// parallelism; BenchmarkRunAllSequential vs BenchmarkRunAllParallel is
+// the `make bench` speedup measurement for the sweep engine.
+func runAll(b *testing.B, workers int) {
+	b.Helper()
+	ctx := context.Background()
+	o := benchOpts()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.Seed = uint64(i + 1)
+		for _, id := range experiments.IDs() {
+			if _, err := experiments.Run(ctx, id, o, workers); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkRunAllSequential runs every experiment with one worker.
+func BenchmarkRunAllSequential(b *testing.B) { runAll(b, 1) }
+
+// BenchmarkRunAllParallel runs every experiment with GOMAXPROCS workers.
+func BenchmarkRunAllParallel(b *testing.B) { runAll(b, runtime.GOMAXPROCS(0)) }
 
 // BenchmarkTable1Config regenerates Table I.
 func BenchmarkTable1Config(b *testing.B) { runExperiment(b, "table1") }

@@ -4,23 +4,37 @@
 // Usage:
 //
 //	metaleak list
-//	metaleak run <id>... | all   [-full] [-seed N] [-json]
-//	metaleak report              [-full] [-seed N]
-//	metaleak trace jpeg|rsa      [-csv]
+//	metaleak run <id>... | all   [-full] [-seed N] [-json] [-par N]
+//	metaleak report              [-full] [-seed N] [-par N]
+//	metaleak sweep               [-configs sct,ht] [-minor 6,7] [-meta 64,256]
+//	                             [-noise 0,8000] [-seeds N] [-seed N] [-bits N]
+//	                             [-json] [-par N]
+//	metaleak trace jpeg|rsa      [-csv] [-bin FILE]
+//	metaleak trace replay FILE   [-csv]
 //
-// Experiment IDs follow the paper: table1, fig6, fig7, fig8, fig11,
-// fig12, fig14, fig15, fig15c, fig16, fig17, fig18; the design-space
-// ablations ablctr, abltree, ablmeta, ablminor, ablnoise, ablsec; and the
-// §IX defence evaluations defiso, defrand, defladder.
+// Flags may be interleaved with positional arguments (`run fig6 -par 4`
+// works). -par bounds how many trials run concurrently; results are
+// byte-identical for every value, including 1 (the historic sequential
+// behaviour). Experiment IDs follow the paper: table1, fig6, fig7, fig8,
+// fig11, fig12, fig14, fig15, fig15c, fig16, fig17, fig18; the
+// design-space ablations ablctr, abltree, ablmeta, ablminor, ablnoise,
+// ablsec; and the §IX defence evaluations defiso, defrand, defladder.
 package main
 
 import (
+	"context"
+	"encoding/csv"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
 	"time"
 
+	"metaleak/internal/arch"
 	"metaleak/internal/experiments"
 	"metaleak/internal/jpeg"
 	"metaleak/internal/machine"
@@ -30,13 +44,34 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "metaleak:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// parseInterleaved parses fs against args, collecting positional
+// arguments that may be interleaved with flags. Go's flag package stops
+// at the first positional; re-parsing the remainder makes both
+// `run -par 4 fig6` and `run fig6 -par 4` work.
+func parseInterleaved(fs *flag.FlagSet, args []string) ([]string, error) {
+	var pos []string
+	for {
+		if err := fs.Parse(args); err != nil {
+			return nil, err
+		}
+		args = fs.Args()
+		if len(args) == 0 {
+			return pos, nil
+		}
+		pos = append(pos, args[0])
+		args = args[1:]
+	}
+}
+
+func run(ctx context.Context, args []string) error {
 	if len(args) == 0 {
 		usage()
 		return nil
@@ -48,95 +83,214 @@ func run(args []string) error {
 		}
 		return nil
 	case "run":
-		fs := flag.NewFlagSet("run", flag.ContinueOnError)
-		full := fs.Bool("full", false, "paper-scale sample counts (slow)")
-		seed := fs.Uint64("seed", 0, "experiment seed")
-		asJSON := fs.Bool("json", false, "emit results as JSON")
-		if err := fs.Parse(args[1:]); err != nil {
-			return err
-		}
-		ids := fs.Args()
-		if len(ids) == 0 {
-			usage()
-			return fmt.Errorf("run: no experiment ids")
-		}
-		if len(ids) == 1 && ids[0] == "all" {
-			ids = experiments.IDs()
-		}
-		opts := experiments.Default()
-		if *full {
-			opts = experiments.Full()
-		}
-		opts.Seed = *seed
-		for _, id := range ids {
-			fn, ok := experiments.Registry[id]
-			if !ok {
-				return fmt.Errorf("unknown experiment %q (try 'metaleak list')", id)
-			}
-			// Wall-clock time here is operator progress output only — it
-			// never feeds results, which are all in simulated cycles. This
-			// is the one sanctioned use, suppressed for cmd/metalint by the
-			// directive below; the syntax is
-			//
-			//	//metalint:allow <analyzer>[,<analyzer>...] [reason]
-			//
-			// on the flagged line or the line directly above it.
-			//metalint:allow wallclock operator-facing experiment runtime
-			start := time.Now()
-			res, err := fn(opts)
-			if err != nil {
-				return fmt.Errorf("%s: %w", id, err)
-			}
-			if *asJSON {
-				enc := json.NewEncoder(os.Stdout)
-				enc.SetIndent("", "  ")
-				if err := enc.Encode(res); err != nil {
-					return err
-				}
-			} else {
-				fmt.Print(res)
-				//metalint:allow wallclock operator-facing experiment runtime
-				fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
-			}
-		}
-		return nil
+		return runCmd(ctx, args[1:])
 	case "report":
-		fs := flag.NewFlagSet("report", flag.ContinueOnError)
-		full := fs.Bool("full", false, "paper-scale sample counts (slow)")
-		seed := fs.Uint64("seed", 0, "experiment seed")
-		if err := fs.Parse(args[1:]); err != nil {
-			return err
-		}
-		opts := experiments.Default()
-		if *full {
-			opts = experiments.Full()
-		}
-		opts.Seed = *seed
-		md, err := experiments.Report(opts)
-		if err != nil {
-			return err
-		}
-		fmt.Print(md)
-		return nil
+		return reportCmd(ctx, args[1:])
+	case "sweep":
+		return sweepCmd(ctx, args[1:])
 	case "trace":
-		fs := flag.NewFlagSet("trace", flag.ContinueOnError)
-		csv := fs.Bool("csv", false, "dump the retained events as CSV")
-		if err := fs.Parse(args[1:]); err != nil {
-			return err
-		}
-		if fs.NArg() != 1 {
-			return fmt.Errorf("trace: need a victim (jpeg or rsa)")
-		}
-		return runTrace(fs.Arg(0), *csv)
+		return traceCmd(args[1:])
 	default:
 		usage()
 		return fmt.Errorf("unknown command %q", args[0])
 	}
 }
 
+func runCmd(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	full := fs.Bool("full", false, "paper-scale sample counts (slow)")
+	seed := fs.Uint64("seed", 0, "experiment seed")
+	asJSON := fs.Bool("json", false, "emit results as JSON")
+	par := fs.Int("par", 0, "max trials in flight (0 = GOMAXPROCS; output is identical for every value)")
+	ids, err := parseInterleaved(fs, args)
+	if err != nil {
+		return err
+	}
+	if len(ids) == 0 {
+		usage()
+		return fmt.Errorf("run: no experiment ids")
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = experiments.IDs()
+	}
+	opts := experiments.Default()
+	if *full {
+		opts = experiments.Full()
+	}
+	opts.Seed = *seed
+	for _, id := range ids {
+		if _, ok := experiments.Registry[id]; !ok {
+			return fmt.Errorf("unknown experiment %q (try 'metaleak list')", id)
+		}
+		// Wall-clock time here is operator progress output only — it
+		// never feeds results, which are all in simulated cycles. This
+		// is the one sanctioned use, suppressed for cmd/metalint by the
+		// directive below; the syntax is
+		//
+		//	//metalint:allow <analyzer>[,<analyzer>...] [reason]
+		//
+		// on the flagged line or the line directly above it.
+		//metalint:allow wallclock operator-facing experiment runtime
+		start := time.Now()
+		res, err := experiments.Run(ctx, id, opts, *par)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(res); err != nil {
+				return err
+			}
+		} else {
+			fmt.Print(res)
+			//metalint:allow wallclock operator-facing experiment runtime
+			fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+		}
+	}
+	return nil
+}
+
+func reportCmd(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("report", flag.ContinueOnError)
+	full := fs.Bool("full", false, "paper-scale sample counts (slow)")
+	seed := fs.Uint64("seed", 0, "experiment seed")
+	par := fs.Int("par", 0, "max trials in flight (0 = GOMAXPROCS)")
+	if _, err := parseInterleaved(fs, args); err != nil {
+		return err
+	}
+	opts := experiments.Default()
+	if *full {
+		opts = experiments.Full()
+	}
+	opts.Seed = *seed
+	md, err := experiments.ReportContext(ctx, opts, *par)
+	if err != nil {
+		return err
+	}
+	fmt.Print(md)
+	return nil
+}
+
+// listFlag parses a comma-separated list of unsigned integers.
+func listFlag(s string) ([]uint64, error) {
+	var out []uint64
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.ParseUint(f, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad list element %q: %w", f, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func sweepCmd(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	configs := fs.String("configs", "sct", "comma-separated design points (sct,ht,sgx)")
+	minor := fs.String("minor", "7", "comma-separated minor counter widths")
+	meta := fs.String("meta", "256", "comma-separated metadata cache sizes (KiB)")
+	noise := fs.String("noise", "0", "comma-separated noise burst intervals (cycles, 0 = off)")
+	seeds := fs.Int("seeds", 3, "replications per grid point")
+	seed := fs.Uint64("seed", 0, "base seed")
+	bits := fs.Int("bits", 120, "covert transmission length per cell")
+	asJSON := fs.Bool("json", false, "emit rows and aggregates as JSON (default CSV)")
+	par := fs.Int("par", 0, "max cells in flight (0 = GOMAXPROCS)")
+	if _, err := parseInterleaved(fs, args); err != nil {
+		return err
+	}
+	axes := experiments.SweepAxes{Seeds: *seeds, Seed: *seed, Bits: *bits}
+	for _, c := range strings.Split(*configs, ",") {
+		if c = strings.TrimSpace(c); c != "" {
+			axes.Configs = append(axes.Configs, c)
+		}
+	}
+	minors, err := listFlag(*minor)
+	if err != nil {
+		return fmt.Errorf("sweep: -minor: %w", err)
+	}
+	for _, m := range minors {
+		axes.MinorBits = append(axes.MinorBits, uint(m))
+	}
+	metas, err := listFlag(*meta)
+	if err != nil {
+		return fmt.Errorf("sweep: -meta: %w", err)
+	}
+	for _, m := range metas {
+		axes.MetaKB = append(axes.MetaKB, int(m))
+	}
+	noises, err := listFlag(*noise)
+	if err != nil {
+		return fmt.Errorf("sweep: -noise: %w", err)
+	}
+	for _, n := range noises {
+		axes.Noise = append(axes.Noise, arch.Cycles(n))
+	}
+	if len(axes.Configs) == 0 || len(axes.MinorBits) == 0 || len(axes.MetaKB) == 0 || len(axes.Noise) == 0 {
+		return fmt.Errorf("sweep: every axis needs at least one value")
+	}
+	rows, err := experiments.Sweep(ctx, axes, *par)
+	if err != nil {
+		return err
+	}
+	points := axes.Aggregate(rows)
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			Rows   []experiments.SweepRow
+			Points []experiments.SweepPoint
+		}{rows, points})
+	}
+	w := csv.NewWriter(os.Stdout)
+	if err := w.Write(experiments.CSVHeader()); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := w.Write(r.CSVRecord()); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return err
+	}
+	for _, p := range points {
+		fmt.Fprintf(os.Stderr, "# %s minor=%d meta=%dKiB noise=%d: covert %.3f±%.3f monitor %.3f±%.3f (n=%d, %d failed)\n",
+			p.Config, p.MinorBits, p.MetaKB, p.Noise,
+			p.Covert.Mean, p.Covert.Std(), p.Monitor.Mean, p.Monitor.Std(), p.Covert.N, p.Errs)
+	}
+	return nil
+}
+
+func traceCmd(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	csvOut := fs.Bool("csv", false, "dump the retained events as CSV")
+	binFile := fs.String("bin", "", "also dump the retained events as a binary MLT1 trace to FILE")
+	pos, err := parseInterleaved(fs, args)
+	if err != nil {
+		return err
+	}
+	if len(pos) >= 1 && pos[0] == "replay" {
+		if len(pos) != 2 {
+			return fmt.Errorf("trace replay: need a trace file")
+		}
+		return runReplay(pos[1], *csvOut)
+	}
+	if len(pos) != 1 {
+		return fmt.Errorf("trace: need a victim (jpeg or rsa) or 'replay FILE'")
+	}
+	return runTrace(pos[0], *csvOut, *binFile)
+}
+
 // runTrace executes one victim on the SCT machine with an access recorder
-// attached and prints the per-path summary (optionally the raw CSV).
-func runTrace(kind string, csv bool) error {
+// attached and prints the per-path summary (optionally the raw CSV and a
+// binary MLT1 dump for later replay).
+func runTrace(kind string, csvOut bool, binFile string) error {
 	dp := machine.ConfigSCT()
 	dp.SecurePages = 1 << 16
 	sys := machine.NewSystem(dp)
@@ -160,12 +314,46 @@ func runTrace(kind string, csv bool) error {
 		return fmt.Errorf("trace: unknown victim %q (jpeg or rsa)", kind)
 	}
 	fmt.Print(rec.Summary())
-	if csv {
+	if binFile != "" {
+		data, err := rec.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(binFile, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d events (%d bytes) to %s\n", len(rec.Events()), len(data), binFile)
+	}
+	if csvOut {
+		return rec.WriteCSV(os.Stdout)
+	}
+	return nil
+}
+
+// runReplay loads a binary MLT1 trace and re-renders its summary — the
+// archived trace is re-analyzable without re-running the simulation.
+func runReplay(file string, csvOut bool) error {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return err
+	}
+	var rec trace.Recorder
+	if err := rec.UnmarshalBinary(data); err != nil {
+		return fmt.Errorf("trace replay %s: %w", file, err)
+	}
+	fmt.Print(rec.Summary())
+	if csvOut {
 		return rec.WriteCSV(os.Stdout)
 	}
 	return nil
 }
 
 func usage() {
-	fmt.Println("usage: metaleak list | run <id>...|all [-full] [-seed N] [-json] | report [-full] | trace jpeg|rsa [-csv]")
+	fmt.Println(`usage: metaleak list
+       metaleak run <id>...|all [-full] [-seed N] [-json] [-par N]
+       metaleak report [-full] [-seed N] [-par N]
+       metaleak sweep [-configs sct,ht,sgx] [-minor 6,7] [-meta 64,256] [-noise 0,8000]
+                      [-seeds N] [-seed N] [-bits N] [-json] [-par N]
+       metaleak trace jpeg|rsa [-csv] [-bin FILE]
+       metaleak trace replay FILE [-csv]`)
 }

@@ -1,7 +1,10 @@
 package main
 
 import (
+	"context"
+	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -15,16 +18,21 @@ func capture(t *testing.T, fn func() error) (string, error) {
 		t.Fatal(err)
 	}
 	os.Stdout = w
+	done := make(chan struct{})
+	var out []byte
+	go func() {
+		defer close(done)
+		out, _ = io.ReadAll(r)
+	}()
 	runErr := fn()
 	w.Close()
 	os.Stdout = old
-	buf := make([]byte, 1<<20)
-	n, _ := r.Read(buf)
-	return string(buf[:n]), runErr
+	<-done
+	return string(out), runErr
 }
 
 func TestListCommand(t *testing.T) {
-	out, err := capture(t, func() error { return run([]string{"list"}) })
+	out, err := capture(t, func() error { return run(context.Background(), []string{"list"}) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +44,7 @@ func TestListCommand(t *testing.T) {
 }
 
 func TestRunTable1(t *testing.T) {
-	out, err := capture(t, func() error { return run([]string{"run", "table1"}) })
+	out, err := capture(t, func() error { return run(context.Background(), []string{"run", "table1"}) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +54,7 @@ func TestRunTable1(t *testing.T) {
 }
 
 func TestRunJSON(t *testing.T) {
-	out, err := capture(t, func() error { return run([]string{"run", "-json", "table1"}) })
+	out, err := capture(t, func() error { return run(context.Background(), []string{"run", "-json", "table1"}) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,30 +63,135 @@ func TestRunJSON(t *testing.T) {
 	}
 }
 
+// TestInterleavedFlags pins the CLI contract the CI smoke test relies
+// on: flags may follow positional arguments (`run fig6 -par 4 -json`).
+func TestInterleavedFlags(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run(context.Background(), []string{"run", "table1", "-json", "-par", "2"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"ID": "table1"`) {
+		t.Fatalf("interleaved-flag output:\n%s", out)
+	}
+}
+
+// TestParallelMatchesSequential asserts the -par flag never changes the
+// bytes the CLI emits — only how fast they are produced.
+func TestParallelMatchesSequential(t *testing.T) {
+	seq, err := capture(t, func() error {
+		return run(context.Background(), []string{"run", "-json", "-par", "1", "ablminor"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := capture(t, func() error {
+		return run(context.Background(), []string{"run", "ablminor", "-json", "-par", "4"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != par {
+		t.Fatalf("-par 4 output differs from -par 1:\n--- par 1 ---\n%s--- par 4 ---\n%s", seq, par)
+	}
+}
+
 func TestErrors(t *testing.T) {
-	if err := run([]string{"run", "nosuch"}); err == nil {
+	ctx := context.Background()
+	if err := run(ctx, []string{"run", "nosuch"}); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
-	if err := run([]string{"run"}); err == nil {
+	if err := run(ctx, []string{"run"}); err == nil {
 		t.Fatal("missing ids accepted")
 	}
-	if err := run([]string{"bogus"}); err == nil {
+	if err := run(ctx, []string{"bogus"}); err == nil {
 		t.Fatal("unknown command accepted")
 	}
-	if err := run([]string{"trace", "nosuch"}); err == nil {
+	if err := run(ctx, []string{"trace", "nosuch"}); err == nil {
 		t.Fatal("unknown trace victim accepted")
 	}
-	if err := run([]string{"trace"}); err == nil {
+	if err := run(ctx, []string{"trace"}); err == nil {
 		t.Fatal("missing trace victim accepted")
+	}
+	if err := run(ctx, []string{"trace", "replay"}); err == nil {
+		t.Fatal("missing replay file accepted")
+	}
+	if err := run(ctx, []string{"sweep", "-configs", ""}); err == nil {
+		t.Fatal("empty sweep axis accepted")
+	}
+	if err := run(ctx, []string{"sweep", "-minor", "x"}); err == nil {
+		t.Fatal("malformed sweep axis accepted")
 	}
 }
 
 func TestTraceCommand(t *testing.T) {
-	out, err := capture(t, func() error { return run([]string{"trace", "rsa"}) })
+	out, err := capture(t, func() error { return run(context.Background(), []string{"trace", "rsa"}) })
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out, "events recorded") {
 		t.Fatalf("trace output:\n%s", out)
+	}
+}
+
+// TestTraceBinaryRoundTrip dumps a binary trace with -bin and replays
+// it; the replayed per-path summary must match the live one.
+func TestTraceBinaryRoundTrip(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "rsa.mlt1")
+	live, err := capture(t, func() error {
+		return run(context.Background(), []string{"trace", "rsa", "-bin", file})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(live, "wrote ") {
+		t.Fatalf("no binary dump confirmation:\n%s", live)
+	}
+	replayed, err := capture(t, func() error {
+		return run(context.Background(), []string{"trace", "replay", file, "-csv"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The live summary (minus the dump confirmation line) must reappear.
+	summary := live[:strings.Index(live, "wrote ")]
+	if !strings.HasPrefix(replayed, summary) {
+		t.Fatalf("replay summary diverges:\n--- live ---\n%s--- replay ---\n%s", summary, replayed)
+	}
+	if !strings.Contains(replayed, "seq,cycle,core,block") {
+		t.Fatalf("replay -csv missing CSV header:\n%s", replayed)
+	}
+}
+
+// TestSweepCommand runs a tiny grid and checks the CSV shape and that a
+// broken cell reports in its row instead of aborting the sweep.
+func TestSweepCommand(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run(context.Background(), []string{
+			"sweep", "-configs", "sct,bogus", "-seeds", "1", "-bits", "20", "-par", "2"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want header + 2 cells, got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "config,minor_bits") {
+		t.Fatalf("missing CSV header:\n%s", out)
+	}
+	if !strings.Contains(lines[2], "unknown config") {
+		t.Fatalf("broken cell did not report in-row:\n%s", out)
+	}
+	jsonOut, err := capture(t, func() error {
+		return run(context.Background(), []string{
+			"sweep", "-configs", "sct", "-seeds", "2", "-bits", "20", "-json"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(jsonOut, `"Rows"`) || !strings.Contains(jsonOut, `"Points"`) {
+		t.Fatalf("sweep -json missing rows/points:\n%s", jsonOut)
 	}
 }

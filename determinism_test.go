@@ -2,8 +2,12 @@ package metaleak
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
 	"testing"
+
+	"metaleak/internal/experiments"
 )
 
 // TestCovertChannelDeterminism is the dynamic guard behind what
@@ -46,19 +50,120 @@ func TestCovertChannelDeterminism(t *testing.T) {
 
 	first := run(0xC0FFEE)
 	second := run(0xC0FFEE)
-	if !bytes.Equal(first, second) {
-		max := len(first)
-		if len(second) < max {
-			max = len(second)
-		}
-		at := max
-		for i := 0; i < max; i++ {
-			if first[i] != second[i] {
-				at = i
-				break
-			}
-		}
-		t.Fatalf("two runs with one seed diverge (lengths %d vs %d, first diff at byte %d): determinism contract broken",
-			len(first), len(second), at)
+	requireIdentical(t, first, second)
+}
+
+// requireIdentical fails with the position of the first diverging byte.
+func requireIdentical(t *testing.T, first, second []byte) {
+	t.Helper()
+	if bytes.Equal(first, second) {
+		return
 	}
+	max := len(first)
+	if len(second) < max {
+		max = len(second)
+	}
+	at := max
+	for i := 0; i < max; i++ {
+		if first[i] != second[i] {
+			at = i
+			break
+		}
+	}
+	t.Fatalf("two runs with one seed diverge (lengths %d vs %d, first diff at byte %d): determinism contract broken",
+		len(first), len(second), at)
+}
+
+// TestCounterOverflowDeterminism extends the dynamic guard to the
+// MetaLeak-C (counter-overflow) channel: the mPreset/mOverflow machinery
+// exercises the counter and re-encryption paths the MetaLeak-T test
+// never touches, and those paths must be just as seed-deterministic.
+func TestCounterOverflowDeterminism(t *testing.T) {
+	run := func(seed uint64) []byte {
+		dp := ConfigSCT()
+		dp.Seed = seed
+		dp.FastCrypto = true // each symbol costs ~128 saturating writes
+		sys := NewSystem(dp)
+		trojan := NewAttacker(sys, 0, false)
+		spy := NewAttacker(sys, 1, false)
+		ch, err := NewCovertC(trojan, spy, PageID(1<<13), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sent := []int{3, 0, ch.MaxSymbol(), 42, 7, 1}
+		got, err := ch.Send(sent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		fmt.Fprintf(&buf, "decoded=%v accuracy=%v trace=%v now=%d tampered=%d\n",
+			got, ch.Accuracy(), ch.Trace, sys.Now(), sys.TamperDetections())
+		return buf.Bytes()
+	}
+	requireIdentical(t, run(0xBEEF), run(0xBEEF))
+}
+
+// TestDefenseConfigDeterminism runs the dynamic guard on a defence
+// configuration — the MIRAGE-randomized metadata cache with a
+// volume-based monitor — whose skewed-placement and flooding code paths
+// draw far more from the seeded RNGs than the baseline design.
+func TestDefenseConfigDeterminism(t *testing.T) {
+	run := func(seed uint64) []byte {
+		dp := ConfigSCT()
+		dp.Seed = seed
+		dp.RandomizedMeta = true
+		dp.SecurePages = 1 << 14
+		dp.MetaKB = 16
+		dp.FastCrypto = true
+		sys := NewSystem(dp)
+		victimPage := sys.AllocPage(1)
+		attacker := NewAttacker(sys, 0, false)
+		vm, err := attacker.NewVolumeMonitor(victimPage, 0, 800)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vm.Calibrate(10)
+		correct := 0
+		for i := 0; i < 20; i++ {
+			vm.Evict()
+			want := i%2 == 0
+			if want {
+				sys.Flush(1, victimPage.Block(0))
+				sys.Touch(1, victimPage.Block(0))
+			}
+			got, lat := vm.Reload()
+			if got == want {
+				correct++
+			}
+			_ = lat
+		}
+		var buf bytes.Buffer
+		fmt.Fprintf(&buf, "correct=%d now=%d\n", correct, sys.Now())
+		return buf.Bytes()
+	}
+	requireIdentical(t, run(0xD1CE), run(0xD1CE))
+}
+
+// TestParallelRunDeterminism asserts the spec/trial/merge harness'
+// central contract end to end: running an experiment with four workers
+// produces byte-for-byte the output of the sequential run. Fig. 18 is
+// the most trial-rich spec in the registry, so it exercises real
+// out-of-order completion under -race.
+func TestParallelRunDeterminism(t *testing.T) {
+	o := experiments.Options{
+		Samples: 120, Bits: 24, Symbols: 4, ImageSize: 16,
+		ExpBits: 24, PrimeBits: 32, Trials: 3, Seed: 41,
+	}
+	marshal := func(workers int) []byte {
+		res, err := experiments.Run(context.Background(), "fig18", o, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	requireIdentical(t, marshal(1), marshal(4))
 }

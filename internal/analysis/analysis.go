@@ -69,6 +69,7 @@ var All = []*Analyzer{
 	MapOrder,
 	CycleLeak,
 	FloatCycles,
+	UncheckedErr,
 }
 
 // ByName returns the registered analyzer with the given name, or nil.

@@ -1,0 +1,49 @@
+// Package app exercises the uncheckederr analyzer: dropped errors from
+// the guarded frame-placement primitives are flagged anywhere, handled
+// errors and out-of-scope callees are not.
+package app
+
+import (
+	"internal/core"
+	"internal/sim"
+)
+
+// AllocFrame shadows the guarded name outside internal/sim; ignoring
+// its error is out of scope and must not be flagged.
+func AllocFrame(frame uint64) error { return nil }
+
+// LeakBare drops the claim error in statement position; flagged.
+func LeakBare(a *core.Attacker) {
+	a.ClaimFrame(7)
+}
+
+// LeakBlank drops the placement error via the blank identifier; flagged.
+func LeakBlank(s *sim.System) {
+	_ = s.AllocFrame(0, 7)
+}
+
+// LeakDefer drops the error of a deferred claim; flagged.
+func LeakDefer(a *core.Attacker) {
+	defer a.ClaimFrame(9)
+}
+
+// Handled checks the error; clean.
+func Handled(a *core.Attacker) error {
+	if err := a.ClaimFrame(7); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ProbeAllowed ignores the error intentionally and says so; clean.
+func ProbeAllowed(a *core.Attacker) {
+	//metalint:allow uncheckederr fixture: probing frame ownership, failure expected
+	a.ClaimFrame(7)
+}
+
+// OutOfScope drops errors and results from unguarded callees; clean.
+func OutOfScope(s *sim.System) {
+	AllocFrame(7)
+	_ = AllocFrame(8)
+	s.FreeFrame(7)
+}

@@ -1,0 +1,17 @@
+// Package core is a golden-test fixture for the uncheckederr analyzer:
+// its import path ends in internal/core, so its ClaimFrame is in the
+// guarded set.
+package core
+
+import "internal/sim"
+
+// Attacker models the unprivileged attack process.
+type Attacker struct {
+	Sys  *sim.System
+	Core int
+}
+
+// ClaimFrame allocates a specific frame to this attacker.
+func (a *Attacker) ClaimFrame(frame uint64) error {
+	return a.Sys.AllocFrame(a.Core, frame)
+}

@@ -1,0 +1,26 @@
+// Package sim is a golden-test fixture for the uncheckederr analyzer:
+// its import path ends in internal/sim, so its AllocFrame is in the
+// guarded set.
+package sim
+
+// System models the simulated machine's frame allocator.
+type System struct {
+	owned map[uint64]bool
+}
+
+// AllocFrame grants a specific frame; it fails when the frame is taken.
+func (s *System) AllocFrame(core int, frame uint64) error {
+	if s.owned[frame] {
+		return errTaken
+	}
+	return nil
+}
+
+// FreeFrame has no error result; ignoring it is out of scope.
+func (s *System) FreeFrame(frame uint64) {}
+
+var errTaken = errorString("frame owned")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// UncheckedErr flags ignored error results from the frame-placement
+// primitives — sim.(*System).AllocFrame and core.(*Attacker).ClaimFrame
+// — whether as a bare call statement or a blank-assigned result. These
+// calls fail routinely by design (the frame is owned, or out of range):
+// an attack that drops the error proceeds with an unconstructed eviction
+// set or monitor and measures noise that looks like a real result. A
+// placement whose failure is genuinely acceptable must say so:
+//
+//	//metalint:allow uncheckederr probing ownership, failure expected
+var UncheckedErr = &Analyzer{
+	Name: "uncheckederr",
+	Doc: "flag ignored error results of sim.AllocFrame and core.ClaimFrame " +
+		"(bare or _-assigned calls): a silently failed frame claim leaves the " +
+		"attack primitives unconstructed and downstream measurements meaningless",
+	Run: runUncheckedErr,
+}
+
+func runUncheckedErr(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := unparen(n.X).(*ast.CallExpr); ok {
+					checkDroppedFrameErr(pass, call, call.Pos())
+				}
+			case *ast.DeferStmt:
+				checkDroppedFrameErr(pass, n.Call, n.Call.Pos())
+			case *ast.GoStmt:
+				checkDroppedFrameErr(pass, n.Call, n.Call.Pos())
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if i >= len(n.Lhs) || !isBlank(n.Lhs[i]) {
+						continue
+					}
+					if call, ok := unparen(rhs).(*ast.CallExpr); ok {
+						checkDroppedFrameErr(pass, call, n.Lhs[i].Pos())
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkDroppedFrameErr reports pos when the call is a frame-placement
+// primitive whose error result is being discarded.
+func checkDroppedFrameErr(pass *Pass, call *ast.CallExpr, pos token.Pos) {
+	name, ok := frameAllocCallee(pass.Pkg.Info, call)
+	if !ok {
+		return
+	}
+	pass.Reportf(pos,
+		"error result of %s is ignored: a failed frame claim leaves the attack unconstructed; handle the error or annotate //metalint:allow uncheckederr",
+		name)
+}
+
+// frameAllocCallee resolves the call's target and reports whether it is
+// one of the guarded frame-placement primitives: a function named
+// AllocFrame declared in internal/sim, or ClaimFrame in internal/core.
+// Matching by package path suffix lets the golden-test stubs under
+// testdata stand in for the metaleak packages.
+func frameAllocCallee(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn, ok := callee(info, call).(*types.Func)
+	if !ok {
+		return "", false
+	}
+	switch {
+	case fn.Name() == "AllocFrame" && objFromPackage(fn, "internal/sim"):
+	case fn.Name() == "ClaimFrame" && objFromPackage(fn, "internal/core"):
+	default:
+		return "", false
+	}
+	// Only error-returning signatures are in scope (a stub or future
+	// overload without the error result has nothing to drop).
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return "", false
+	}
+	if sig.Results().Len() == 0 {
+		return "", false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if types.Identical(sig.Results().At(i).Type(), types.Universe.Lookup("error").Type()) {
+			return fn.FullName(), true
+		}
+	}
+	return "", false
+}

@@ -104,3 +104,31 @@ func TestRNGIntnPanicsOnZero(t *testing.T) {
 	}()
 	NewRNG(1).Intn(0)
 }
+
+func TestRNGStreams(t *testing.T) {
+	// One-argument form stays bit-compatible with the historic seeding.
+	if got, want := NewRNG(42).Uint64(), (&RNG{state: 42}).Uint64(); got != want {
+		t.Fatalf("NewRNG(42) diverges from historic seeding: %d != %d", got, want)
+	}
+	// Streams are deterministic and distinct per index and per seed.
+	if NewRNG(42, 1).Uint64() != NewRNG(42, 1).Uint64() {
+		t.Fatal("stream derivation not deterministic")
+	}
+	seen := map[uint64]bool{NewRNG(42).Uint64(): true}
+	for i := uint64(0); i < 64; i++ {
+		v := NewRNG(42, i).Uint64()
+		if seen[v] {
+			t.Fatalf("stream %d collides with an earlier stream", i)
+		}
+		seen[v] = true
+	}
+	if NewRNG(42, 7).Uint64() == NewRNG(43, 7).Uint64() {
+		t.Fatal("same stream under different seeds collides")
+	}
+	// Multi-level streams nest: (seed, a, b) differs from (seed, a) and
+	// from (seed, b, a).
+	if NewRNG(1, 2, 3).Uint64() == NewRNG(1, 2).Uint64() ||
+		NewRNG(1, 2, 3).Uint64() == NewRNG(1, 3, 2).Uint64() {
+		t.Fatal("nested streams collide")
+	}
+}

@@ -11,8 +11,29 @@ type RNG struct {
 	state uint64
 }
 
-// NewRNG returns a generator seeded with the given value.
-func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+// NewRNG returns a generator seeded with the given value. Optional
+// stream values derive statistically independent generators from one
+// base seed — the seed-plumbing idiom of the sweep engine, where every
+// trial needs its own stream keyed by (experiment seed, trial index)
+// without correlated draws: NewRNG(seed) is bit-compatible with the
+// historic one-argument form, and NewRNG(seed, i) differs from
+// NewRNG(seed, j) for i != j.
+func NewRNG(seed uint64, stream ...uint64) *RNG {
+	r := &RNG{state: seed}
+	for _, s := range stream {
+		r.state = splitmix(r.state ^ splitmix(s))
+	}
+	return r
+}
+
+// splitmix is the SplitMix64 finalizer, used to fold stream keys into
+// the state so that nearby (seed, stream) pairs land far apart.
+func splitmix(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
 
 // Uint64 returns the next 64-bit pseudo-random value.
 func (r *RNG) Uint64() uint64 {

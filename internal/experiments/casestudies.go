@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -49,46 +50,90 @@ func jpegAttackT(sys *machine.System, kind jpeg.SyntheticKind, size int) (rec []
 
 // Fig15 reproduces the libjpeg image-reconstruction case study with
 // MetaLeak-T on the SCT design.
-func Fig15(o Options) (*Result, error) {
+func Fig15(o Options) (*Result, error) { return SpecFig15(o).Run(context.Background(), 1) }
+
+// fig15Partial is one image's attack outcome.
+type fig15Partial struct {
+	row   []string
+	acc   float64
+	notes []string
+}
+
+// SpecFig15 declares Fig15 as one trial per victim image, each mounting
+// the attack on its own machine.
+func SpecFig15(o Options) *Spec {
 	o = o.withDefaults()
-	r := &Result{
+	kinds := []jpeg.SyntheticKind{jpeg.PatternCircle, jpeg.PatternStripes, jpeg.PatternText}
+	trials := make([]Trial, len(kinds))
+	for i, kind := range kinds {
+		i, kind := i, kind
+		trials[i] = Trial{
+			Name: fmt.Sprintf("fig15/%s", kind),
+			Run: func() (any, error) {
+				dp := machine.ConfigSCT()
+				dp.Seed = o.Seed + 15 + uint64(i)
+				dp.NoiseInterval = 30000
+				dp.NoisePages = 1024
+				sys := machine.NewSystem(dp)
+				rec, tr, original, recovered, oracle, err := jpegAttackT(sys, kind, o.ImageSize)
+				if err != nil {
+					return nil, err
+				}
+				acc := reconstruct.TraceAccuracy(rec, tr.NonZero)
+				p := &fig15Partial{
+					row: []string{
+						string(kind), fmt.Sprintf("%d", len(tr.NonZero)), pct(acc),
+						pct(reconstruct.PixelSimilarity(recovered, oracle)),
+					},
+					acc: acc,
+				}
+				if kind == jpeg.PatternText {
+					p.notes = []string{
+						"original image:", original.ASCII(o.ImageSize),
+						"attacker reconstruction:", recovered.ASCII(o.ImageSize),
+					}
+				}
+				return p, nil
+			},
+		}
+	}
+	return &Spec{
 		ID:     "fig15",
 		Title:  "Image reconstruction from libjpeg with MetaLeak-T (SCT)",
-		Header: []string{"image", "coefficients", "stealing accuracy", "similarity to oracle"},
+		Trials: trials,
+		Merge: func(parts []any) (*Result, error) {
+			r := &Result{
+				ID:     "fig15",
+				Title:  "Image reconstruction from libjpeg with MetaLeak-T (SCT)",
+				Header: []string{"image", "coefficients", "stealing accuracy", "similarity to oracle"},
+			}
+			var accSum float64
+			for _, part := range parts {
+				p := part.(*fig15Partial)
+				accSum += p.acc
+				r.Rows = append(r.Rows, p.row)
+				r.Notes = append(r.Notes, p.notes...)
+			}
+			r.PaperClaim = "up to 97% stealing accuracy (94.3% overall); reconstructions close to the oracle"
+			r.Measured = fmt.Sprintf("mean stealing accuracy %s across %d images", pct(accSum/float64(len(parts))), len(parts))
+			return r, nil
+		},
 	}
-	kinds := []jpeg.SyntheticKind{jpeg.PatternCircle, jpeg.PatternStripes, jpeg.PatternText}
-	var accSum float64
-	for i, kind := range kinds {
-		dp := machine.ConfigSCT()
-		dp.Seed = o.Seed + 15 + uint64(i)
-		dp.NoiseInterval = 30000
-		dp.NoisePages = 1024
-		sys := machine.NewSystem(dp)
-		rec, tr, original, recovered, oracle, err := jpegAttackT(sys, kind, o.ImageSize)
-		if err != nil {
-			return nil, err
-		}
-		acc := reconstruct.TraceAccuracy(rec, tr.NonZero)
-		accSum += acc
-		sim := reconstruct.PixelSimilarity(recovered, oracle)
-		r.Rows = append(r.Rows, []string{
-			string(kind), fmt.Sprintf("%d", len(tr.NonZero)), pct(acc), pct(sim),
-		})
-		if kind == jpeg.PatternText {
-			r.Notes = append(r.Notes,
-				"original image:", original.ASCII(o.ImageSize),
-				"attacker reconstruction:", recovered.ASCII(o.ImageSize))
-		}
-	}
-	r.PaperClaim = "up to 97% stealing accuracy (94.3% overall); reconstructions close to the oracle"
-	r.Measured = fmt.Sprintf("mean stealing accuracy %s across %d images", pct(accSum/float64(len(kinds))), len(kinds))
-	return r, nil
 }
 
 // Fig15C reproduces the §VIII-A2 variant: recovering the zero-elements of
 // the entropy blocks by observing victim writes to r with
 // mPreset+mOverflow on a shared tree minor at the 2nd level.
-func Fig15C(o Options) (*Result, error) {
+func Fig15C(o Options) (*Result, error) { return SpecFig15C(o).Run(context.Background(), 1) }
+
+// SpecFig15C declares Fig15C: one victim encode under one counter
+// monitor, one trial.
+func SpecFig15C(o Options) *Spec {
+	return single("fig15c", "Zero-coefficient recovery from libjpeg writes with MetaLeak-C (SCT, tree L2 minor)",
+		func() (*Result, error) { return fig15C(o) })
+}
+
+func fig15C(o Options) (*Result, error) {
 	o = o.withDefaults()
 	dp := machine.ConfigSCT()
 	dp.Seed = o.Seed + 152
@@ -203,43 +248,84 @@ func rsaAttackTraced(sys *machine.System, level, expBits int, seed uint64, stepS
 
 // Fig16 reproduces the libgcrypt RSA exponent recovery on the SGX
 // calibration (integrity tree L1 sharing) and the simulated SCT design.
-func Fig16(o Options) (*Result, error) {
-	o = o.withDefaults()
-	r := &Result{
-		ID:     "fig16",
-		Title:  "RSA square-and-multiply exponent recovery (libgcrypt pattern)",
-		Header: []string{"config", "tree level", "ops observed", "exponent bit accuracy"},
-	}
-	sgx := machine.ConfigSGX()
-	sgx.Seed = o.Seed + 16
-	sgx.NoiseInterval = 15000
-	sgx.NoisePages = 1024
-	// SGX-Step on hardware misses/doubles a few percent of single steps;
-	// the jitter knob reproduces that imprecision (EXPERIMENTS.md).
-	acc, n, trace, err := rsaAttackTraced(machine.NewSystem(sgx), 1, o.ExpBits, o.Seed+161, 0.04, 0.02)
-	if err != nil {
-		return nil, err
-	}
-	r.Rows = append(r.Rows, []string{"SGX", "L1", fmt.Sprintf("%d", n), pct(acc)})
-	r.Notes = append(r.Notes, "mEvict+mReload observations (first steps, SGX): "+strings.Join(trace, " "))
+func Fig16(o Options) (*Result, error) { return SpecFig16(o).Run(context.Background(), 1) }
 
-	sct := machine.ConfigSCT()
-	sct.Seed = o.Seed + 162
-	sct.NoiseInterval = 30000
-	sct.NoisePages = 1024
-	acc2, n2, err := rsaAttack(machine.NewSystem(sct), 0, o.ExpBits, o.Seed+163, 0.01, 0.01)
-	if err != nil {
-		return nil, err
+// fig16Partial is one configuration's recovery outcome.
+type fig16Partial struct {
+	row   []string
+	notes []string
+	acc   float64
+}
+
+// SpecFig16 declares Fig16 as two independent trials: the SGX enclave
+// attack and the simulated-SCT attack each drive their own machine.
+func SpecFig16(o Options) *Spec {
+	o = o.withDefaults()
+	return &Spec{
+		ID:    "fig16",
+		Title: "RSA square-and-multiply exponent recovery (libgcrypt pattern)",
+		Trials: []Trial{
+			{Name: "fig16/sgx", Run: func() (any, error) {
+				sgx := machine.ConfigSGX()
+				sgx.Seed = o.Seed + 16
+				sgx.NoiseInterval = 15000
+				sgx.NoisePages = 1024
+				// SGX-Step on hardware misses/doubles a few percent of single
+				// steps; the jitter knob reproduces that imprecision
+				// (EXPERIMENTS.md).
+				acc, n, trace, err := rsaAttackTraced(machine.NewSystem(sgx), 1, o.ExpBits, o.Seed+161, 0.04, 0.02)
+				if err != nil {
+					return nil, err
+				}
+				return &fig16Partial{
+					row:   []string{"SGX", "L1", fmt.Sprintf("%d", n), pct(acc)},
+					notes: []string{"mEvict+mReload observations (first steps, SGX): " + strings.Join(trace, " ")},
+					acc:   acc,
+				}, nil
+			}},
+			{Name: "fig16/sct", Run: func() (any, error) {
+				sct := machine.ConfigSCT()
+				sct.Seed = o.Seed + 162
+				sct.NoiseInterval = 30000
+				sct.NoisePages = 1024
+				acc, n, err := rsaAttack(machine.NewSystem(sct), 0, o.ExpBits, o.Seed+163, 0.01, 0.01)
+				if err != nil {
+					return nil, err
+				}
+				return &fig16Partial{
+					row: []string{"SCT", "L0", fmt.Sprintf("%d", n), pct(acc)},
+					acc: acc,
+				}, nil
+			}},
+		},
+		Merge: func(parts []any) (*Result, error) {
+			sgx, sct := parts[0].(*fig16Partial), parts[1].(*fig16Partial)
+			r := &Result{
+				ID:     "fig16",
+				Title:  "RSA square-and-multiply exponent recovery (libgcrypt pattern)",
+				Header: []string{"config", "tree level", "ops observed", "exponent bit accuracy"},
+				Rows:   [][]string{sgx.row, sct.row},
+				Notes:  sgx.notes,
+			}
+			r.PaperClaim = "91.2% exponent recovery in SGX enclave; 95.1% on simulated SCT"
+			r.Measured = fmt.Sprintf("SGX %s, SCT %s", pct(sgx.acc), pct(sct.acc))
+			return r, nil
+		},
 	}
-	r.Rows = append(r.Rows, []string{"SCT", "L0", fmt.Sprintf("%d", n2), pct(acc2)})
-	r.PaperClaim = "91.2% exponent recovery in SGX enclave; 95.1% on simulated SCT"
-	r.Measured = fmt.Sprintf("SGX %s, SCT %s", pct(acc), pct(acc2))
-	return r, nil
 }
 
 // Fig17 reproduces the mbedTLS private-key-loading attack: recovering the
 // shift/sub operation trace of the modular inversion in SGX.
-func Fig17(o Options) (*Result, error) {
+func Fig17(o Options) (*Result, error) { return SpecFig17(o).Run(context.Background(), 1) }
+
+// SpecFig17 declares Fig17: one key load under one dual monitor, one
+// trial.
+func SpecFig17(o Options) *Spec {
+	return single("fig17", "mbedTLS key-loading shift/sub trace recovery (SGX, tree L1)",
+		func() (*Result, error) { return fig17(o) })
+}
+
+func fig17(o Options) (*Result, error) {
 	o = o.withDefaults()
 	dp := machine.ConfigSGX()
 	dp.Seed = o.Seed + 17

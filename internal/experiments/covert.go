@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"metaleak/internal/arch"
@@ -18,15 +19,23 @@ func attackerPair(sys *machine.System) (*core.Attacker, *core.Attacker) {
 // Fig11 runs the MetaLeak-T covert channel on the SCT design and the SGX
 // (SIT) calibration, transmitting o.Bits random bits under background
 // noise, and reports bit accuracy plus a latency-trace snippet.
-func Fig11(o Options) (*Result, error) {
-	o = o.withDefaults()
-	r := &Result{
-		ID:     "fig11",
-		Title:  "MetaLeak-T covert channel accuracy and latency trace",
-		Header: []string{"config", "tree level", "bits", "accuracy", "cycles/bit"},
-	}
+func Fig11(o Options) (*Result, error) { return SpecFig11(o).Run(context.Background(), 1) }
 
-	run := func(dp machine.DesignPoint, level int, noise arch.Cycles, seed uint64) (*core.CovertT, error) {
+// fig11Partial is one configuration's transmission outcome.
+type fig11Partial struct {
+	row          []string
+	trace        []arch.Cycles
+	boundaryMiss int
+	bitsSent     int
+}
+
+// SpecFig11 declares Fig11 as four independent trials — SCT, HT,
+// cross-socket SCT, and the SGX calibration each transmit on their own
+// machine — merged into the figure's accuracy table plus the SCT trace
+// snippet.
+func SpecFig11(o Options) *Spec {
+	o = o.withDefaults()
+	run := func(dp machine.DesignPoint, level int, noise arch.Cycles, seed uint64) (any, error) {
 		dp.Seed = seed
 		dp.NoiseInterval = noise
 		dp.NoisePages = 1024 // wide working set: every metadata cache set sees traffic
@@ -41,55 +50,82 @@ func Fig11(o Options) (*Result, error) {
 		for i := 0; i < o.Bits; i++ {
 			ch.SendBit(rng.Bool(0.5))
 		}
-		r.Rows = append(r.Rows, []string{
-			dp.Name, fmt.Sprintf("L%d", level), fmt.Sprintf("%d", ch.BitsSent),
-			pct(ch.Accuracy()), cyc(ch.CyclesPerBit(sys.Now() - start)),
-		})
-		return ch, nil
-	}
-
-	sct, err := run(machine.ConfigSCT(), 0, 30000, o.Seed+11)
-	if err != nil {
-		return nil, err
-	}
-	// The hash-tree design leaks identically (§V: "similar latency
-	// distributions in a simulated HT-based design").
-	if _, err := run(machine.ConfigHT(), 0, 30000, o.Seed+1113); err != nil {
-		return nil, err
+		return &fig11Partial{
+			row: []string{
+				dp.Name, fmt.Sprintf("L%d", level), fmt.Sprintf("%d", ch.BitsSent),
+				pct(ch.Accuracy()), cyc(ch.CyclesPerBit(sys.Now() - start)),
+			},
+			trace:        ch.Trace,
+			boundaryMiss: ch.BoundaryMiss,
+			bitsSent:     ch.BitsSent,
+		}, nil
 	}
 	// Cross-socket: the spy's core sits on socket 1; the metadata (and the
 	// channel) live with the memory controller on socket 0.
 	xs := machine.ConfigSCT()
 	xs.Name = "SCT x-socket"
 	xs.SocketOf = []int{0, 1, 0, 0}
-	if _, err := run(xs, 0, 30000, o.Seed+1112); err != nil {
-		return nil, err
+	return &Spec{
+		ID:    "fig11",
+		Title: "MetaLeak-T covert channel accuracy and latency trace",
+		Trials: []Trial{
+			{Name: "fig11/sct", Run: func() (any, error) {
+				return run(machine.ConfigSCT(), 0, 30000, o.Seed+11)
+			}},
+			// The hash-tree design leaks identically (§V: "similar latency
+			// distributions in a simulated HT-based design").
+			{Name: "fig11/ht", Run: func() (any, error) {
+				return run(machine.ConfigHT(), 0, 30000, o.Seed+1113)
+			}},
+			{Name: "fig11/xsocket", Run: func() (any, error) {
+				return run(xs, 0, 30000, o.Seed+1112)
+			}},
+			{Name: "fig11/sgx", Run: func() (any, error) {
+				return run(machine.ConfigSGX(), 1, 9000, o.Seed+1111)
+			}},
+		},
+		Merge: func(parts []any) (*Result, error) {
+			r := &Result{
+				ID:     "fig11",
+				Title:  "MetaLeak-T covert channel accuracy and latency trace",
+				Header: []string{"config", "tree level", "bits", "accuracy", "cycles/bit"},
+			}
+			for _, p := range parts {
+				r.Rows = append(r.Rows, p.(*fig11Partial).row)
+			}
+			// Trace snippet: the spy's transmission-set reload latencies over
+			// the final eight bit windows of the SCT run.
+			sct := parts[0].(*fig11Partial)
+			snippet := "final 8 bit windows, tx reload latencies: "
+			n := len(sct.trace)
+			if n >= 8 {
+				for i := n - 8; i < n; i++ {
+					snippet += fmt.Sprintf("%d ", sct.trace[i])
+				}
+			}
+			r.Notes = append(r.Notes, snippet,
+				fmt.Sprintf("spy threshold (SCT tx set): boundary misses %d/%d", sct.boundaryMiss, sct.bitsSent))
+			r.PaperClaim = "99.3% bit accuracy on SCT; 94.3% on SGX's SIT; operates across cores and sockets"
+			r.Measured = fmt.Sprintf("%s on SCT; %s on HT; %s cross-socket; %s on SGX",
+				r.Rows[0][3], r.Rows[1][3], r.Rows[2][3], r.Rows[3][3])
+			return r, nil
+		},
 	}
-	_, err = run(machine.ConfigSGX(), 1, 9000, o.Seed+1111)
-	if err != nil {
-		return nil, err
-	}
-
-	// Trace snippet: the spy's transmission-set reload latencies over the
-	// final eight bit windows.
-	snippet := "final 8 bit windows, tx reload latencies: "
-	n := len(sct.Trace)
-	if n >= 8 {
-		for i := n - 8; i < n; i++ {
-			snippet += fmt.Sprintf("%d ", sct.Trace[i])
-		}
-	}
-	r.Notes = append(r.Notes, snippet, fmt.Sprintf("spy threshold (SCT tx set): boundary misses %d/%d", sct.BoundaryMiss, sct.BitsSent))
-	r.PaperClaim = "99.3% bit accuracy on SCT; 94.3% on SGX's SIT; operates across cores and sockets"
-	r.Measured = fmt.Sprintf("%s on SCT; %s on HT; %s cross-socket; %s on SGX",
-		r.Rows[0][3], r.Rows[1][3], r.Rows[2][3], r.Rows[3][3])
-	return r, nil
 }
 
 // Fig12 sweeps the exploited tree node level, measuring the
 // mEvict+mReload interval (temporal resolution) and the node's spatial
 // coverage, which grows exponentially with level.
-func Fig12(o Options) (*Result, error) {
+func Fig12(o Options) (*Result, error) { return SpecFig12(o).Run(context.Background(), 1) }
+
+// SpecFig12 declares Fig12: the per-level monitors share one machine's
+// metadata cache history, so it stays one trial.
+func SpecFig12(o Options) *Spec {
+	return single("fig12", "mEvict+mReload interval and coverage vs. exploited tree level (SCT)",
+		func() (*Result, error) { return fig12(o) })
+}
+
+func fig12(o Options) (*Result, error) {
 	o = o.withDefaults()
 	dp := machine.ConfigSCT()
 	dp.Seed = o.Seed + 12
@@ -145,7 +181,16 @@ func byteSize(n int) string {
 
 // Fig14 runs the MetaLeak-C covert channel: 7-bit symbols encoded in the
 // number of writes modulating a shared tree minor counter.
-func Fig14(o Options) (*Result, error) {
+func Fig14(o Options) (*Result, error) { return SpecFig14(o).Run(context.Background(), 1) }
+
+// SpecFig14 declares Fig14: one shared minor counter carries the whole
+// transmission, so it stays one trial.
+func SpecFig14(o Options) *Spec {
+	return single("fig14", "MetaLeak-C covert channel: 7-bit symbols via counter modulation",
+		func() (*Result, error) { return fig14(o) })
+}
+
+func fig14(o Options) (*Result, error) {
 	o = o.withDefaults()
 	dp := machine.ConfigSCT()
 	dp.Seed = o.Seed + 14

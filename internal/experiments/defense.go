@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"metaleak/internal/arch"
 	"metaleak/internal/core"
 	"metaleak/internal/machine"
 	"metaleak/internal/mirage"
+	"metaleak/internal/stats"
 )
 
 // Fig18 reproduces the §IX-B defence study: the probability that a target
@@ -14,44 +16,71 @@ import (
 // random block accesses. Randomized caches stop eviction-set construction
 // but not eviction itself, so MetaLeak-T's mEvict still succeeds — it just
 // needs enough traffic.
-func Fig18(o Options) (*Result, error) {
+func Fig18(o Options) (*Result, error) { return SpecFig18(o).Run(context.Background(), 1) }
+
+// fig18Points are the random-access counts of the sweep's x axis.
+var fig18Points = []int{1000, 2000, 3000, 4000, 5000, 6000, 7000, 8000, 9000, 10000, 12000}
+
+// SpecFig18 declares Fig18 as one trial per (access-count, repetition)
+// pair — each builds its own MIRAGE cache from a seed derived from the
+// pair alone, so the partial counters fold per point in any completion
+// order. This is the most parallel experiment in the registry.
+func SpecFig18(o Options) *Spec {
 	o = o.withDefaults()
-	r := &Result{
+	var trials []Trial
+	for _, n := range fig18Points {
+		for trial := 0; trial < o.Trials; trial++ {
+			n, trial := n, trial
+			trials = append(trials, Trial{
+				Name: fmt.Sprintf("fig18/n%d/t%d", n, trial),
+				Run: func() (any, error) {
+					cfg := mirage.DefaultConfig()
+					cfg.Seed = o.Seed + uint64(n)*131 + uint64(trial)
+					c := mirage.New(cfg)
+					// Warm to steady state, install the target, then hammer
+					// with distinct random blocks.
+					for i := 0; i < 2*cfg.DataBlocks; i++ {
+						c.Access(arch.BlockID(i))
+					}
+					target := arch.BlockID(1 << 40)
+					c.Access(target)
+					for i := 0; i < n; i++ {
+						c.Access(arch.BlockID(1<<20 + n*100000 + i))
+					}
+					var ctr stats.Counter
+					ctr.Observe(!c.Contains(target))
+					return ctr, nil
+				},
+			})
+		}
+	}
+	return &Spec{
 		ID:     "fig18",
 		Title:  "Eviction accuracy vs. random accesses under MIRAGE (2-skew, 8+6 ways)",
-		Header: []string{"random accesses", "eviction probability"},
+		Trials: trials,
+		Merge: func(parts []any) (*Result, error) {
+			r := &Result{
+				ID:     "fig18",
+				Title:  "Eviction accuracy vs. random accesses under MIRAGE (2-skew, 8+6 ways)",
+				Header: []string{"random accesses", "eviction probability"},
+			}
+			var at7000 float64
+			for pi, n := range fig18Points {
+				var ctr stats.Counter
+				for _, part := range parts[pi*o.Trials : (pi+1)*o.Trials] {
+					ctr = ctr.Merge(part.(stats.Counter))
+				}
+				p := ctr.Rate()
+				if n == 7000 {
+					at7000 = p
+				}
+				r.Rows = append(r.Rows, []string{fmt.Sprintf("%d", n), pct(p)})
+			}
+			r.PaperClaim = "~7000 random accesses evict the target with >90% accuracy (16-way 256KB metadata cache)"
+			r.Measured = fmt.Sprintf("%.1f%% at 7000 accesses; monotone rise to >90%% within the sweep", 100*at7000)
+			return r, nil
+		},
 	}
-	points := []int{1000, 2000, 3000, 4000, 5000, 6000, 7000, 8000, 9000, 10000, 12000}
-	var at7000 float64
-	for _, n := range points {
-		evicted := 0
-		for trial := 0; trial < o.Trials; trial++ {
-			cfg := mirage.DefaultConfig()
-			cfg.Seed = o.Seed + uint64(n)*131 + uint64(trial)
-			c := mirage.New(cfg)
-			// Warm to steady state, install the target, then hammer with
-			// distinct random blocks.
-			for i := 0; i < 2*cfg.DataBlocks; i++ {
-				c.Access(arch.BlockID(i))
-			}
-			target := arch.BlockID(1 << 40)
-			c.Access(target)
-			for i := 0; i < n; i++ {
-				c.Access(arch.BlockID(1<<20 + n*100000 + i))
-			}
-			if !c.Contains(target) {
-				evicted++
-			}
-		}
-		p := float64(evicted) / float64(o.Trials)
-		if n == 7000 {
-			at7000 = p
-		}
-		r.Rows = append(r.Rows, []string{fmt.Sprintf("%d", n), pct(p)})
-	}
-	r.PaperClaim = "~7000 random accesses evict the target with >90% accuracy (16-way 256KB metadata cache)"
-	r.Measured = fmt.Sprintf("%.1f%% at 7000 accesses; monotone rise to >90%% within the sweep", 100*at7000)
-	return r, nil
 }
 
 // AblationCounters quantifies VUL-1 across the §IV-A counter schemes:
@@ -59,13 +88,14 @@ func Fig18(o Options) (*Result, error) {
 // relative to a normal one. Counter widths are shrunk so overflows are
 // reachable; the *ratios* are the design-space signal.
 func AblationCounters(o Options) (*Result, error) {
+	return SpecAblationCounters(o).Run(context.Background(), 1)
+}
+
+// SpecAblationCounters declares the counter-scheme ablation as one trial
+// per scheme, each driving its own machine to an overflow.
+func SpecAblationCounters(o Options) *Spec {
 	o = o.withDefaults()
-	r := &Result{
-		ID:     "ablctr",
-		Title:  "Ablation: counter schemes — overflow group and write-latency blowup",
-		Header: []string{"scheme", "group size G", "normal write", "overflow write", "blowup"},
-	}
-	run := func(dp machine.DesignPoint, touch int) error {
+	run := func(dp machine.DesignPoint, touch int) (any, error) {
 		dp.Seed = o.Seed + 90
 		dp.SecurePages = 1 << 14
 		sys := machine.NewSystem(dp)
@@ -91,20 +121,19 @@ func AblationCounters(o Options) (*Result, error) {
 			}
 		}
 		if len(overflow) == 0 {
-			return fmt.Errorf("experiments: no overflow for %s", dp.Name)
+			return nil, fmt.Errorf("experiments: no overflow for %s", dp.Name)
 		}
 		// The group re-encryption runs as a background burst; its bank
 		// occupancy is the observable. Measure a timed read right after the
 		// last overflow into the re-encrypted page's bank.
 		probeDelay := sys.TimedRead(0, target)
-		r.Rows = append(r.Rows, []string{
+		return []string{
 			dp.Name,
 			fmt.Sprintf("%d blocks", groupSize),
 			cyc(normal.mean()),
 			cyc(overflow.mean()),
 			fmt.Sprintf("%.1fx (read after: %d)", overflow.mean()/normal.mean(), probeDelay),
-		})
-		return nil
+		}, nil
 	}
 	gc := machine.ConfigSCT()
 	gc.Name, gc.Counter, gc.GCBits = "GC", machine.CounterGC, 8
@@ -112,116 +141,182 @@ func AblationCounters(o Options) (*Result, error) {
 	moc.Name, moc.Counter, moc.MoCBits = "MoC", machine.CounterMoC, 8
 	sc := machine.ConfigSCT()
 	sc.Name = "SC"
-	for _, cfg := range []struct {
+	schemes := []struct {
 		dp    machine.DesignPoint
 		touch int
-	}{{gc, 48}, {moc, 48}, {sc, 8}} {
-		if err := run(cfg.dp, cfg.touch); err != nil {
-			return nil, err
+	}{{gc, 48}, {moc, 48}, {sc, 8}}
+	trials := make([]Trial, len(schemes))
+	for i, cfg := range schemes {
+		cfg := cfg
+		trials[i] = Trial{
+			Name: "ablctr/" + cfg.dp.Name,
+			Run:  func() (any, error) { return run(cfg.dp, cfg.touch) },
 		}
 	}
-	r.PaperClaim = "Algorithm 1: overflow re-encrypts the counter-sharing group — all of memory for GC/MoC, one page for SC"
-	r.Measured = "group sizes and write blowups as above"
-	return r, nil
+	return &Spec{
+		ID:     "ablctr",
+		Title:  "Ablation: counter schemes — overflow group and write-latency blowup",
+		Trials: trials,
+		Merge: func(parts []any) (*Result, error) {
+			r := &Result{
+				ID:     "ablctr",
+				Title:  "Ablation: counter schemes — overflow group and write-latency blowup",
+				Header: []string{"scheme", "group size G", "normal write", "overflow write", "blowup"},
+			}
+			for _, part := range parts {
+				r.Rows = append(r.Rows, part.([]string))
+			}
+			r.PaperClaim = "Algorithm 1: overflow re-encrypts the counter-sharing group — all of memory for GC/MoC, one page for SC"
+			r.Measured = "group sizes and write blowups as above"
+			return r, nil
+		},
+	}
 }
 
 // AblationTrees contrasts the integrity tree designs: verification
 // latency of the cold path and, crucially, whether tree-counter overflow
 // (the MetaLeak-C channel) exists at all.
 func AblationTrees(o Options) (*Result, error) {
+	return SpecAblationTrees(o).Run(context.Background(), 1)
+}
+
+// SpecAblationTrees declares the tree ablation as one trial per design.
+func SpecAblationTrees(o Options) *Spec {
 	o = o.withDefaults()
-	r := &Result{
+	bases := []machine.DesignPoint{machine.ConfigSCT(), machine.ConfigHT(), machine.ConfigSGX()}
+	trials := make([]Trial, len(bases))
+	for i, base := range bases {
+		base := base
+		trials[i] = Trial{
+			Name: "abltree/" + base.Name,
+			Run: func() (any, error) {
+				dp := base
+				dp.Seed = o.Seed + 91
+				dp.SecurePages = 1 << 14
+				dp.MetaKB = 16 // tiny metadata cache: force write-back churn
+				dp.FastCrypto = true
+				sys := machine.NewSystem(dp)
+				var cold sample
+				for i := 0; i < 64; i++ {
+					p := sys.AllocPage(0)
+					_, res := sys.Read(0, p.Block(0))
+					cold = append(cold, res.Latency)
+				}
+				// Saturating write pressure: pages whose counter blocks collide in
+				// one metadata cache set, so every write cycles a counter block out
+				// (a write-back) and tree version counters advance.
+				sets := sys.Ctrl.Meta().Config().Sets()
+				var pages []arch.PageID
+				for f := arch.PageID(0); len(pages) < 24 && int(f) < sys.SecurePages(); f += arch.PageID(sets) {
+					if sys.Owner(f) != -1 {
+						continue
+					}
+					if err := sys.AllocFrame(0, f); err == nil {
+						pages = append(pages, f)
+					}
+				}
+				for i := 0; i < 7000; i++ {
+					p := pages[i%len(pages)]
+					sys.WriteThrough(0, p.Block((i/len(pages))%arch.BlocksPerPage), [arch.BlockSize]byte{byte(i)})
+				}
+				ov := sys.Ctrl.Stats().TreeOverflows
+				viable := "no"
+				if ov > 0 {
+					viable = "yes"
+				}
+				return []string{dp.Name, cyc(cold.mean()), fmt.Sprintf("%d", ov), viable}, nil
+			},
+		}
+	}
+	return &Spec{
 		ID:     "abltree",
 		Title:  "Ablation: integrity trees — cold-path latency and overflow channel",
-		Header: []string{"tree", "cold read mean", "tree overflows under write pressure", "MetaLeak-C viable"},
-	}
-	for _, base := range []machine.DesignPoint{machine.ConfigSCT(), machine.ConfigHT(), machine.ConfigSGX()} {
-		dp := base
-		dp.Seed = o.Seed + 91
-		dp.SecurePages = 1 << 14
-		dp.MetaKB = 16 // tiny metadata cache: force write-back churn
-		dp.FastCrypto = true
-		sys := machine.NewSystem(dp)
-		var cold sample
-		for i := 0; i < 64; i++ {
-			p := sys.AllocPage(0)
-			_, res := sys.Read(0, p.Block(0))
-			cold = append(cold, res.Latency)
-		}
-		// Saturating write pressure: pages whose counter blocks collide in
-		// one metadata cache set, so every write cycles a counter block out
-		// (a write-back) and tree version counters advance.
-		sets := sys.Ctrl.Meta().Config().Sets()
-		var pages []arch.PageID
-		for f := arch.PageID(0); len(pages) < 24 && int(f) < sys.SecurePages(); f += arch.PageID(sets) {
-			if sys.Owner(f) != -1 {
-				continue
+		Trials: trials,
+		Merge: func(parts []any) (*Result, error) {
+			r := &Result{
+				ID:     "abltree",
+				Title:  "Ablation: integrity trees — cold-path latency and overflow channel",
+				Header: []string{"tree", "cold read mean", "tree overflows under write pressure", "MetaLeak-C viable"},
 			}
-			if err := sys.AllocFrame(0, f); err == nil {
-				pages = append(pages, f)
+			for _, part := range parts {
+				r.Rows = append(r.Rows, part.([]string))
 			}
-		}
-		for i := 0; i < 7000; i++ {
-			p := pages[i%len(pages)]
-			sys.WriteThrough(0, p.Block((i/len(pages))%arch.BlocksPerPage), [arch.BlockSize]byte{byte(i)})
-		}
-		ov := sys.Ctrl.Stats().TreeOverflows
-		viable := "no"
-		if ov > 0 {
-			viable = "yes"
-		}
-		r.Rows = append(r.Rows, []string{dp.Name, cyc(cold.mean()), fmt.Sprintf("%d", ov), viable})
+			r.PaperClaim = "SCT's 7-bit tree minors overflow (VUL-1 at tree scale); HT has no counters, SIT's 56-bit never overflow"
+			r.Measured = "overflow counts as above"
+			return r, nil
+		},
 	}
-	r.PaperClaim = "SCT's 7-bit tree minors overflow (VUL-1 at tree scale); HT has no counters, SIT's 56-bit never overflow"
-	r.Measured = "overflow counts as above"
-	return r, nil
 }
 
 // AblationMetaCache sweeps the metadata cache size: larger caches slow
 // the mEvict step (bigger eviction sets are unnecessary — sets stay 8-way
 // — but hit rates rise) while the channel persists at every size.
 func AblationMetaCache(o Options) (*Result, error) {
+	return SpecAblationMetaCache(o).Run(context.Background(), 1)
+}
+
+// SpecAblationMetaCache declares the cache-size sweep as one trial per
+// size.
+func SpecAblationMetaCache(o Options) *Spec {
 	o = o.withDefaults()
-	r := &Result{
+	sizes := []int{64, 128, 256, 512}
+	trials := make([]Trial, len(sizes))
+	for i, kb := range sizes {
+		kb := kb
+		trials[i] = Trial{
+			Name: fmt.Sprintf("ablmeta/%dk", kb),
+			Run: func() (any, error) {
+				dp := machine.ConfigSCT()
+				dp.Seed = o.Seed + 92 + uint64(kb)
+				dp.MetaKB = kb
+				sys := machine.NewSystem(dp)
+				attacker := coreAttacker(sys)
+				vicPage := sys.AllocPage(1)
+				m, err := attacker.NewMonitor(vicPage, 0)
+				if err != nil {
+					return nil, err
+				}
+				m.Calibrate(8)
+				correct, rounds := 0, 40
+				start := sys.Now()
+				for i := 0; i < rounds; i++ {
+					m.Evict()
+					want := i%2 == 0
+					if want {
+						sys.Flush(1, vicPage.Block(0))
+						sys.Touch(1, vicPage.Block(0))
+					}
+					got, _ := m.Reload()
+					if got == want {
+						correct++
+					}
+				}
+				interval := float64(sys.Now()-start) / float64(rounds)
+				return []string{
+					fmt.Sprintf("%dKiB", kb), cyc(interval),
+					pct(float64(correct) / float64(rounds)),
+				}, nil
+			},
+		}
+	}
+	return &Spec{
 		ID:     "ablmeta",
 		Title:  "Ablation: metadata cache size vs. mEvict+mReload round and accuracy",
-		Header: []string{"meta cache", "round interval (cycles)", "monitor accuracy (40 rounds)"},
-	}
-	for _, kb := range []int{64, 128, 256, 512} {
-		dp := machine.ConfigSCT()
-		dp.Seed = o.Seed + 92 + uint64(kb)
-		dp.MetaKB = kb
-		sys := machine.NewSystem(dp)
-		attacker := coreAttacker(sys)
-		vicPage := sys.AllocPage(1)
-		m, err := attacker.NewMonitor(vicPage, 0)
-		if err != nil {
-			return nil, err
-		}
-		m.Calibrate(8)
-		correct, rounds := 0, 40
-		start := sys.Now()
-		for i := 0; i < rounds; i++ {
-			m.Evict()
-			want := i%2 == 0
-			if want {
-				sys.Flush(1, vicPage.Block(0))
-				sys.Touch(1, vicPage.Block(0))
+		Trials: trials,
+		Merge: func(parts []any) (*Result, error) {
+			r := &Result{
+				ID:     "ablmeta",
+				Title:  "Ablation: metadata cache size vs. mEvict+mReload round and accuracy",
+				Header: []string{"meta cache", "round interval (cycles)", "monitor accuracy (40 rounds)"},
 			}
-			got, _ := m.Reload()
-			if got == want {
-				correct++
+			for _, part := range parts {
+				r.Rows = append(r.Rows, part.([]string))
 			}
-		}
-		interval := float64(sys.Now()-start) / float64(rounds)
-		r.Rows = append(r.Rows, []string{
-			fmt.Sprintf("%dKiB", kb), cyc(interval),
-			pct(float64(correct) / float64(rounds)),
-		})
+			r.PaperClaim = "(design-space extension) the channel is not an artifact of one cache size"
+			r.Measured = "accuracy stays high across sizes"
+			return r, nil
+		},
 	}
-	r.PaperClaim = "(design-space extension) the channel is not an artifact of one cache size"
-	r.Measured = "accuracy stays high across sizes"
-	return r, nil
 }
 
 // AblationMinorWidth sweeps the split-counter minor width — the Table I
@@ -230,37 +325,61 @@ func AblationMetaCache(o Options) (*Result, error) {
 // overflow more often (more observable events), wider minors raise the
 // attacker's mPreset cost exponentially.
 func AblationMinorWidth(o Options) (*Result, error) {
+	return SpecAblationMinorWidth(o).Run(context.Background(), 1)
+}
+
+// SpecAblationMinorWidth declares the minor-width sweep as one trial per
+// width.
+func SpecAblationMinorWidth(o Options) *Spec {
 	o = o.withDefaults()
-	r := &Result{
+	widths := []uint{5, 6, 7, 8}
+	trials := make([]Trial, len(widths))
+	for i, bits := range widths {
+		bits := bits
+		trials[i] = Trial{
+			Name: fmt.Sprintf("ablminor/%db", bits),
+			Run: func() (any, error) {
+				dp := machine.ConfigSCT()
+				dp.Seed = o.Seed + 97 + uint64(bits)
+				dp.SecurePages = 1 << 14
+				dp.MinorBits = bits
+				dp.FastCrypto = true
+				sys := machine.NewSystem(dp)
+				p := sys.AllocPage(0)
+				b := p.Block(0)
+				overflows := 0
+				for i := 0; i < 2000; i++ {
+					if res := sys.WriteThrough(0, b, [arch.BlockSize]byte{byte(i)}); res.Report.Overflow {
+						overflows++
+					}
+				}
+				return []string{
+					fmt.Sprintf("%d", bits),
+					fmt.Sprintf("%d", 1<<bits),
+					fmt.Sprintf("%d", overflows),
+					fmt.Sprintf("%d", 1<<bits-2),
+				}, nil
+			},
+		}
+	}
+	return &Spec{
 		ID:     "ablminor",
 		Title:  "Ablation: SC/SCT minor counter width vs. overflow behaviour",
-		Header: []string{"minor bits", "writes to enc overflow", "enc overflows (2000 writes)", "mPreset bumps (MetaLeak-C)"},
-	}
-	for _, bits := range []uint{5, 6, 7, 8} {
-		dp := machine.ConfigSCT()
-		dp.Seed = o.Seed + 97 + uint64(bits)
-		dp.SecurePages = 1 << 14
-		dp.MinorBits = bits
-		dp.FastCrypto = true
-		sys := machine.NewSystem(dp)
-		p := sys.AllocPage(0)
-		b := p.Block(0)
-		overflows := 0
-		for i := 0; i < 2000; i++ {
-			if res := sys.WriteThrough(0, b, [arch.BlockSize]byte{byte(i)}); res.Report.Overflow {
-				overflows++
+		Trials: trials,
+		Merge: func(parts []any) (*Result, error) {
+			r := &Result{
+				ID:     "ablminor",
+				Title:  "Ablation: SC/SCT minor counter width vs. overflow behaviour",
+				Header: []string{"minor bits", "writes to enc overflow", "enc overflows (2000 writes)", "mPreset bumps (MetaLeak-C)"},
 			}
-		}
-		r.Rows = append(r.Rows, []string{
-			fmt.Sprintf("%d", bits),
-			fmt.Sprintf("%d", 1<<bits),
-			fmt.Sprintf("%d", overflows),
-			fmt.Sprintf("%d", 1<<bits-2),
-		})
+			for _, part := range parts {
+				r.Rows = append(r.Rows, part.([]string))
+			}
+			r.PaperClaim = "(design space) 7-bit minors are the standard point; counter width bounds both overflow noise and attack preset cost"
+			r.Measured = "overflow counts scale as 2000/2^bits; preset cost as 2^bits-2"
+			return r, nil
+		},
 	}
-	r.PaperClaim = "(design space) 7-bit minors are the standard point; counter width bounds both overflow noise and attack preset cost"
-	r.Measured = "overflow counts scale as 2000/2^bits; preset cost as 2^bits-2"
-	return r, nil
 }
 
 // AblationNoise sweeps the background-traffic intensity against both
@@ -271,63 +390,87 @@ func AblationMinorWidth(o Options) (*Result, error) {
 // span two signals and two reloads plus a trained threshold — degrades
 // smoothly, which is where the paper's sub-100% accuracies come from.
 func AblationNoise(o Options) (*Result, error) {
+	return SpecAblationNoise(o).Run(context.Background(), 1)
+}
+
+// SpecAblationNoise declares the noise sweep as one trial per traffic
+// intensity.
+func SpecAblationNoise(o Options) *Spec {
 	o = o.withDefaults()
-	r := &Result{
+	intervals := []arch.Cycles{0, 30000, 8000, 2000, 800}
+	trials := make([]Trial, len(intervals))
+	for i, interval := range intervals {
+		interval := interval
+		trials[i] = Trial{
+			Name: fmt.Sprintf("ablnoise/%d", interval),
+			Run: func() (any, error) {
+				dp := machine.ConfigSCT()
+				dp.Seed = o.Seed + 99
+				dp.SecurePages = 1 << 16
+				dp.NoiseInterval = interval
+				dp.NoisePages = 1024
+				sys := machine.NewSystem(dp)
+				victimPage := sys.AllocPage(1)
+				attacker := core.NewAttacker(sys.System, sys.Ctrl, 0, false)
+				m, err := attacker.NewMonitor(victimPage, 0)
+				if err != nil {
+					return nil, err
+				}
+				m.Calibrate(10)
+				correct, rounds := 0, 100
+				for i := 0; i < rounds; i++ {
+					m.Evict()
+					want := i%2 == 0
+					if want {
+						sys.Flush(1, victimPage.Block(0))
+						sys.Touch(1, victimPage.Block(0))
+					}
+					got, _ := m.Reload()
+					if got == want {
+						correct++
+					}
+				}
+				monAcc := float64(correct) / float64(rounds)
+
+				trojan := core.NewAttacker(sys.System, sys.Ctrl, 2, false)
+				spy := core.NewAttacker(sys.System, sys.Ctrl, 1, false)
+				ch, err := core.NewCovertT(trojan, spy, 0)
+				if err != nil {
+					return nil, err
+				}
+				rng := arch.NewRNG(o.Seed ^ uint64(interval) ^ 0xab)
+				bits := 4 * o.Bits // error rates are sub-percent; sample enough
+				for i := 0; i < bits; i++ {
+					ch.SendBit(rng.Bool(0.5))
+				}
+
+				label := "off"
+				if interval > 0 {
+					label = fmt.Sprintf("%d", interval)
+				}
+				return []string{label, pct(monAcc),
+					fmt.Sprintf("%s (%d errs, %d boundary misses)", pct(ch.Accuracy()), ch.BitErrors, ch.BoundaryMiss)}, nil
+			},
+		}
+	}
+	return &Spec{
 		ID:     "ablnoise",
 		Title:  "Ablation: background traffic intensity vs. MetaLeak-T",
-		Header: []string{"noise burst interval (cycles)", "side-channel monitor (100 rounds)", "covert channel"},
-	}
-	for _, interval := range []arch.Cycles{0, 30000, 8000, 2000, 800} {
-		dp := machine.ConfigSCT()
-		dp.Seed = o.Seed + 99
-		dp.SecurePages = 1 << 16
-		dp.NoiseInterval = interval
-		dp.NoisePages = 1024
-		sys := machine.NewSystem(dp)
-		victimPage := sys.AllocPage(1)
-		attacker := core.NewAttacker(sys.System, sys.Ctrl, 0, false)
-		m, err := attacker.NewMonitor(victimPage, 0)
-		if err != nil {
-			return nil, err
-		}
-		m.Calibrate(10)
-		correct, rounds := 0, 100
-		for i := 0; i < rounds; i++ {
-			m.Evict()
-			want := i%2 == 0
-			if want {
-				sys.Flush(1, victimPage.Block(0))
-				sys.Touch(1, victimPage.Block(0))
+		Trials: trials,
+		Merge: func(parts []any) (*Result, error) {
+			r := &Result{
+				ID:     "ablnoise",
+				Title:  "Ablation: background traffic intensity vs. MetaLeak-T",
+				Header: []string{"noise burst interval (cycles)", "side-channel monitor (100 rounds)", "covert channel"},
 			}
-			got, _ := m.Reload()
-			if got == want {
-				correct++
+			for _, part := range parts {
+				r.Rows = append(r.Rows, part.([]string))
 			}
-		}
-		monAcc := float64(correct) / float64(rounds)
-
-		trojan := core.NewAttacker(sys.System, sys.Ctrl, 2, false)
-		spy := core.NewAttacker(sys.System, sys.Ctrl, 1, false)
-		ch, err := core.NewCovertT(trojan, spy, 0)
-		if err != nil {
-			return nil, err
-		}
-		rng := arch.NewRNG(o.Seed ^ uint64(interval) ^ 0xab)
-		bits := 4 * o.Bits // error rates are sub-percent; sample enough
-		for i := 0; i < bits; i++ {
-			ch.SendBit(rng.Bool(0.5))
-		}
-
-		label := "off"
-		if interval > 0 {
-			label = fmt.Sprintf("%d", interval)
-		}
-		r.Rows = append(r.Rows, []string{label, pct(monAcc),
-			fmt.Sprintf("%s (%d errs, %d boundary misses)", pct(ch.Accuracy()), ch.BitErrors, ch.BoundaryMiss)})
+			r.PaperClaim = "(methodology) the paper's sub-100% numbers absorb co-running noise and synchronization slip"
+			r.Measured = fmt.Sprintf("monitor stays at %s across the sweep; covert channel errors are rare stochastic collisions "+
+				"(boundary misses grow with traffic); the bigger hardware effect is stepping jitter (see fig16)",
+				r.Rows[0][1])
+			return r, nil
+		},
 	}
-	r.PaperClaim = "(methodology) the paper's sub-100% numbers absorb co-running noise and synchronization slip"
-	r.Measured = fmt.Sprintf("monitor stays at %s across the sweep; covert channel errors are rare stochastic collisions "+
-		"(boundary misses grow with traffic); the bigger hardware effect is stepping jitter (see fig16)",
-		r.Rows[0][1])
-	return r, nil
 }

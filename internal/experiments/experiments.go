@@ -3,17 +3,28 @@
 // Each experiment returns a Result with the same rows/series the paper
 // reports; EXPERIMENTS.md records the paper-vs-measured comparison.
 //
+// Every experiment is declared as a Spec: a list of independent Trials
+// (each builds its own machines from seeds derived from Options.Seed
+// and the trial's identity) plus a pure Merge that assembles the
+// partials in trial-index order. internal/runner executes the trials on
+// a bounded worker pool, so `metaleak run <id> -par N` produces
+// byte-identical output for every N — including N=1, the historic
+// sequential behaviour. The legacy one-call entry points (Fig6, ...)
+// remain as sequential wrappers over their specs.
+//
 // Experiments accept an Options to trade runtime for sample count; the
 // zero value selects defaults sized for interactive runs, and Full()
 // selects the paper-scale parameters.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"metaleak/internal/arch"
+	"metaleak/internal/runner"
 )
 
 // Options scales the experiments.
@@ -144,29 +155,31 @@ func (r *Result) String() string {
 	return sb.String()
 }
 
-// Registry maps experiment IDs to their runners.
-var Registry = map[string]func(Options) (*Result, error){
-	"table1":    func(o Options) (*Result, error) { return Table1(o) },
-	"fig6":      func(o Options) (*Result, error) { return Fig6(o) },
-	"fig7":      func(o Options) (*Result, error) { return Fig7(o) },
-	"fig8":      func(o Options) (*Result, error) { return Fig8(o) },
-	"fig11":     func(o Options) (*Result, error) { return Fig11(o) },
-	"fig12":     func(o Options) (*Result, error) { return Fig12(o) },
-	"fig14":     func(o Options) (*Result, error) { return Fig14(o) },
-	"fig15":     func(o Options) (*Result, error) { return Fig15(o) },
-	"fig15c":    func(o Options) (*Result, error) { return Fig15C(o) },
-	"fig16":     func(o Options) (*Result, error) { return Fig16(o) },
-	"fig17":     func(o Options) (*Result, error) { return Fig17(o) },
-	"fig18":     func(o Options) (*Result, error) { return Fig18(o) },
-	"ablctr":    func(o Options) (*Result, error) { return AblationCounters(o) },
-	"abltree":   func(o Options) (*Result, error) { return AblationTrees(o) },
-	"ablmeta":   func(o Options) (*Result, error) { return AblationMetaCache(o) },
-	"ablsec":    func(o Options) (*Result, error) { return AblationSecureOverhead(o) },
-	"defiso":    func(o Options) (*Result, error) { return DefenseIsolation(o) },
-	"defrand":   func(o Options) (*Result, error) { return DefenseRandomizedMeta(o) },
-	"ablminor":  func(o Options) (*Result, error) { return AblationMinorWidth(o) },
-	"defladder": func(o Options) (*Result, error) { return DefenseLadder(o) },
-	"ablnoise":  func(o Options) (*Result, error) { return AblationNoise(o) },
+// Registry maps experiment IDs to their spec constructors. A spec
+// enumerates the experiment's independent trials plus the pure merge
+// that assembles them (see spec.go); `Run` or Spec.Run executes one.
+var Registry = map[string]func(Options) *Spec{
+	"table1":    SpecTable1,
+	"fig6":      SpecFig6,
+	"fig7":      SpecFig7,
+	"fig8":      SpecFig8,
+	"fig11":     SpecFig11,
+	"fig12":     SpecFig12,
+	"fig14":     SpecFig14,
+	"fig15":     SpecFig15,
+	"fig15c":    SpecFig15C,
+	"fig16":     SpecFig16,
+	"fig17":     SpecFig17,
+	"fig18":     SpecFig18,
+	"ablctr":    SpecAblationCounters,
+	"abltree":   SpecAblationTrees,
+	"ablmeta":   SpecAblationMetaCache,
+	"ablsec":    SpecAblationSecureOverhead,
+	"defiso":    SpecDefenseIsolation,
+	"defrand":   SpecDefenseRandomizedMeta,
+	"ablminor":  SpecAblationMinorWidth,
+	"defladder": SpecDefenseLadder,
+	"ablnoise":  SpecAblationNoise,
 }
 
 // IDs returns the registered experiment IDs in a stable order.
@@ -242,16 +255,41 @@ func (r *Result) Markdown() string {
 	return sb.String()
 }
 
-// Report runs every registered experiment and renders one markdown
-// document (the regenerated evaluation).
+// Report runs every registered experiment sequentially and renders one
+// markdown document (the regenerated evaluation).
 func Report(o Options) (string, error) {
+	return ReportContext(context.Background(), o, 1)
+}
+
+// ReportContext regenerates the whole evaluation at the given trial
+// parallelism. Every spec's trials are flattened into one runner pool —
+// workers stay busy across experiment boundaries instead of draining at
+// each figure — and each spec's merge consumes its own index-aligned
+// slice of the partials, so the document is byte-identical for any
+// worker count.
+func ReportContext(ctx context.Context, o Options, workers int) (string, error) {
+	ids := IDs()
+	specs := make([]*Spec, len(ids))
+	offsets := make([]int, len(ids))
+	var flat []runner.Trial
+	for i, id := range ids {
+		specs[i] = Registry[id](o)
+		offsets[i] = len(flat)
+		for _, tr := range specs[i].Trials {
+			flat = append(flat, tr.Run)
+		}
+	}
+	parts, err := runner.Run(ctx, flat, workers)
+	if err != nil {
+		return "", err
+	}
 	var sb strings.Builder
 	sb.WriteString("# MetaLeak — regenerated evaluation\n\n")
 	sb.WriteString("Produced by `metaleak report`; see EXPERIMENTS.md for the paper comparison.\n\n")
-	for _, id := range IDs() {
-		res, err := Registry[id](o)
+	for i, spec := range specs {
+		res, err := spec.Merge(parts[offsets[i] : offsets[i]+len(spec.Trials)])
 		if err != nil {
-			return "", fmt.Errorf("%s: %w", id, err)
+			return "", fmt.Errorf("%s: %w", ids[i], err)
 		}
 		sb.WriteString(res.Markdown())
 	}

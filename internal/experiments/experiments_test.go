@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -198,7 +199,7 @@ func TestFig18Monotoneish(t *testing.T) {
 
 func TestAblations(t *testing.T) {
 	for _, id := range []string{"ablctr", "abltree", "ablmeta", "ablsec", "ablminor"} {
-		r, err := Registry[id](tiny())
+		r, err := Registry[id](tiny()).Run(context.Background(), 1)
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
@@ -318,11 +319,11 @@ func TestMarkdownRendering(t *testing.T) {
 // reproducibility rests on.
 func TestDeterminism(t *testing.T) {
 	for _, id := range []string{"fig6", "fig8", "fig18"} {
-		a, err := Registry[id](tiny())
+		a, err := Registry[id](tiny()).Run(context.Background(), 1)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := Registry[id](tiny())
+		b, err := Registry[id](tiny()).Run(context.Background(), 1)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -13,7 +14,15 @@ import (
 
 // Table1 prints the simulated and SGX configurations (the reproduction's
 // Table I).
-func Table1(o Options) (*Result, error) {
+func Table1(o Options) (*Result, error) { return SpecTable1(o).Run(context.Background(), 1) }
+
+// SpecTable1 declares Table1 as a spec: one pure trial, nothing to merge.
+func SpecTable1(o Options) *Spec {
+	return single("table1", "Simulated secure processors and the SGX configuration",
+		func() (*Result, error) { return table1(o) })
+}
+
+func table1(o Options) (*Result, error) {
 	r := &Result{
 		ID:     "table1",
 		Title:  "Simulated secure processors and the SGX configuration",
@@ -132,26 +141,49 @@ func bucketResult(id, title string, buckets map[string]sample) *Result {
 // Fig6 reproduces the latency distributions across access paths on the
 // simulated SCT design (and reports the HT design alongside, per §V),
 // including the §V "Memory Write Latency" characterization.
-func Fig6(o Options) (*Result, error) {
+func Fig6(o Options) (*Result, error) { return SpecFig6(o).Run(context.Background(), 1) }
+
+// SpecFig6 declares Fig6 as three independent trials — the SCT sweep,
+// the HT sweep, and the write-path characterization each drive their
+// own machine — merged into the figure's single table.
+func SpecFig6(o Options) *Spec {
 	o = o.withDefaults()
-	buckets := pathBuckets(machine.ConfigSCT(), o.Samples, o.Seed+6)
-	r := bucketResult("fig6", "Read latency across metadata access paths (simulated SCT)", buckets)
-	ht := pathBuckets(machine.ConfigHT(), o.Samples/2, o.Seed+66)
-	r.Notes = append(r.Notes, "HT design (same experiment):")
-	for _, row := range bucketResult("", "", ht).Rows {
-		r.Notes = append(r.Notes, fmt.Sprintf("  %-32s mean %s", row[0], row[3]))
+	const title = "Read latency across metadata access paths (simulated SCT)"
+	return &Spec{
+		ID:    "fig6",
+		Title: title,
+		Trials: []Trial{
+			{Name: "fig6/sct", Run: func() (any, error) {
+				return pathBuckets(machine.ConfigSCT(), o.Samples, o.Seed+6), nil
+			}},
+			{Name: "fig6/ht", Run: func() (any, error) {
+				return pathBuckets(machine.ConfigHT(), o.Samples/2, o.Seed+66), nil
+			}},
+			{Name: "fig6/write", Run: func() (any, error) {
+				warm, cold := writeBuckets(machine.ConfigSCT(), o.Samples/4, o.Seed+67)
+				return [2]stats.Sample{warm, cold}, nil
+			}},
+		},
+		Merge: func(parts []any) (*Result, error) {
+			buckets := parts[0].(map[string]sample)
+			ht := parts[1].(map[string]sample)
+			wc := parts[2].([2]stats.Sample)
+			r := bucketResult("fig6", title, buckets)
+			r.Notes = append(r.Notes, "HT design (same experiment):")
+			for _, row := range bucketResult("", "", ht).Rows {
+				r.Notes = append(r.Notes, fmt.Sprintf("  %-32s mean %s", row[0], row[3]))
+			}
+			// §V Memory Write Latency: the write path exhibits the same
+			// counter/tree-dependent variation as reads.
+			warm, cold := wc[0], wc[1]
+			r.Notes = append(r.Notes,
+				fmt.Sprintf("write path, counter on-chip:  %s", warm.Summary()),
+				fmt.Sprintf("write path, counter+tree cold: %s", cold.Summary()))
+			r.PaperClaim = "distinct bands ~30..450 cycles; ~450 when all tree levels miss; HT similar; writes show the same variation"
+			r.Measured = summarizeBands(buckets)
+			return r, nil
+		},
 	}
-
-	// §V Memory Write Latency: the write path exhibits the same
-	// counter/tree-dependent variation as reads.
-	warm, cold := writeBuckets(machine.ConfigSCT(), o.Samples/4, o.Seed+67)
-	r.Notes = append(r.Notes,
-		fmt.Sprintf("write path, counter on-chip:  %s", warm.Summary()),
-		fmt.Sprintf("write path, counter+tree cold: %s", cold.Summary()))
-
-	r.PaperClaim = "distinct bands ~30..450 cycles; ~450 when all tree levels miss; HT similar; writes show the same variation"
-	r.Measured = summarizeBands(buckets)
-	return r, nil
 }
 
 // writeBuckets measures write-through latencies with warm vs. cold
@@ -181,13 +213,19 @@ func writeBuckets(dp machine.DesignPoint, samples int, seed uint64) (warm, cold 
 }
 
 // Fig7 is Fig6 on the SGX (SIT) configuration.
-func Fig7(o Options) (*Result, error) {
+func Fig7(o Options) (*Result, error) { return SpecFig7(o).Run(context.Background(), 1) }
+
+// SpecFig7 declares Fig7: one machine, one trial.
+func SpecFig7(o Options) *Spec {
 	o = o.withDefaults()
-	buckets := pathBuckets(machine.ConfigSGX(), o.Samples, o.Seed+7)
-	r := bucketResult("fig7", "Read latency across access paths (SGX/SIT calibration)", buckets)
-	r.PaperClaim = "bands ~150..700 cycles; ~250 with tree leaf cached, ~650 with all levels missed"
-	r.Measured = summarizeBands(buckets)
-	return r, nil
+	return single("fig7", "Read latency across access paths (SGX/SIT calibration)",
+		func() (*Result, error) {
+			buckets := pathBuckets(machine.ConfigSGX(), o.Samples, o.Seed+7)
+			r := bucketResult("fig7", "Read latency across access paths (SGX/SIT calibration)", buckets)
+			r.PaperClaim = "bands ~150..700 cycles; ~250 with tree leaf cached, ~650 with all levels missed"
+			r.Measured = summarizeBands(buckets)
+			return r, nil
+		})
 }
 
 func summarizeBands(buckets map[string]sample) string {
@@ -207,7 +245,16 @@ func summarizeBands(buckets map[string]sample) string {
 // overflow: a timed read to a block in a bank carrying the subtree
 // re-hash traffic lands in a far slower band when the preceding write
 // overflowed the tree minor.
-func Fig8(o Options) (*Result, error) {
+func Fig8(o Options) (*Result, error) { return SpecFig8(o).Run(context.Background(), 1) }
+
+// SpecFig8 declares Fig8: the overflow cycles share one counter
+// monitor's machine history, so it stays one trial.
+func SpecFig8(o Options) *Spec {
+	return single("fig8", "Read latency with and without tree counter overflow (SCT)",
+		func() (*Result, error) { return fig8(o) })
+}
+
+func fig8(o Options) (*Result, error) {
 	o = o.withDefaults()
 	dp := machine.ConfigSCT()
 	dp.Seed = o.Seed + 8

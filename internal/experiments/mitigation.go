@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"metaleak/internal/arch"
@@ -19,6 +20,17 @@ import (
 // detection keep working. The costs the paper flags (extra roots, memory
 // stranding from fixed partitioning) are reported.
 func DefenseIsolation(o Options) (*Result, error) {
+	return SpecDefenseIsolation(o).Run(context.Background(), 1)
+}
+
+// SpecDefenseIsolation declares the isolation defence: every probe runs
+// against the same four-domain machine, one trial.
+func SpecDefenseIsolation(o Options) *Spec {
+	return single("defiso", "Defence: per-domain integrity trees (§IX-C) vs. MetaLeak",
+		func() (*Result, error) { return defenseIsolation(o) })
+}
+
+func defenseIsolation(o Options) (*Result, error) {
 	o = o.withDefaults()
 	dp := machine.ConfigSCT()
 	dp.Seed = o.Seed + 93
@@ -79,51 +91,108 @@ func isoRootCount(sys *machine.System) int {
 	return 1
 }
 
+// ablsecPartial is one configuration's latency profile.
+type ablsecPartial struct {
+	name              string
+	cold, warm, write stats.Sample
+}
+
 // AblationSecureOverhead compares the secure designs against an
 // unprotected baseline — the cost of the metadata machinery whose timing
 // variation MetaLeak exploits. (VUL-1/VUL-2 exist precisely because this
 // machinery is not free.)
 func AblationSecureOverhead(o Options) (*Result, error) {
+	return SpecAblationSecureOverhead(o).Run(context.Background(), 1)
+}
+
+// SpecAblationSecureOverhead declares the overhead study as one trial
+// per configuration (the insecure baseline first); the merge computes
+// every slowdown against the baseline partial.
+func SpecAblationSecureOverhead(o Options) *Spec {
 	o = o.withDefaults()
-	r := &Result{
-		ID:     "ablsec",
-		Title:  "Ablation: secure-memory overhead vs. unprotected baseline",
-		Header: []string{"config", "cold read", "warm-metadata read", "write-through", "read slowdown"},
-	}
-	measure := func(dp machine.DesignPoint) (cold, warm, write stats.Sample) {
+	measure := func(dp machine.DesignPoint) (any, error) {
+		p := &ablsecPartial{name: dp.Name}
 		dp.Seed = o.Seed + 94
 		if dp.SecurePages > 1<<16 {
 			dp.SecurePages = 1 << 16
 		}
 		sys := machine.NewSystem(dp)
 		for i := 0; i < 200; i++ {
-			p := sys.AllocPage(0)
-			b := p.Block(0)
+			pg := sys.AllocPage(0)
+			b := pg.Block(0)
 			_, res := sys.Read(0, b)
-			cold.Add(res.Latency)
+			p.cold.Add(res.Latency)
 			sys.Flush(0, b)
 			_, res = sys.Read(0, b)
-			warm.Add(res.Latency)
+			p.warm.Add(res.Latency)
 			wres := sys.WriteThrough(0, b, [arch.BlockSize]byte{byte(i)})
-			write.Add(wres.Latency)
+			p.write.Add(wres.Latency)
 		}
-		return cold, warm, write
+		return p, nil
 	}
 	base := machine.ConfigSCT()
 	base.Name = "insecure"
 	base.Insecure = true
-	bCold, bWarm, bWrite := measure(base)
-	r.Rows = append(r.Rows, []string{"insecure", cyc(bCold.Mean()), cyc(bWarm.Mean()), cyc(bWrite.Mean()), "1.0x"})
-	for _, dp := range []machine.DesignPoint{machine.ConfigSCT(), machine.ConfigHT(), machine.ConfigSGX()} {
-		c, w, wr := measure(dp)
-		r.Rows = append(r.Rows, []string{
-			dp.Name, cyc(c.Mean()), cyc(w.Mean()), cyc(wr.Mean()),
-			fmt.Sprintf("%.1fx", c.Mean()/bCold.Mean()),
-		})
+	points := []machine.DesignPoint{base, machine.ConfigSCT(), machine.ConfigHT(), machine.ConfigSGX()}
+	trials := make([]Trial, len(points))
+	for i, dp := range points {
+		dp := dp
+		trials[i] = Trial{
+			Name: "ablsec/" + dp.Name,
+			Run:  func() (any, error) { return measure(dp) },
+		}
 	}
-	r.PaperClaim = "(context) metadata maintenance is the overhead that creates VUL-1/VUL-2's timing surface"
-	r.Measured = "secure cold reads pay the counter fetch + tree walk over the flat baseline"
-	return r, nil
+	return &Spec{
+		ID:     "ablsec",
+		Title:  "Ablation: secure-memory overhead vs. unprotected baseline",
+		Trials: trials,
+		Merge: func(parts []any) (*Result, error) {
+			r := &Result{
+				ID:     "ablsec",
+				Title:  "Ablation: secure-memory overhead vs. unprotected baseline",
+				Header: []string{"config", "cold read", "warm-metadata read", "write-through", "read slowdown"},
+			}
+			baseline := parts[0].(*ablsecPartial)
+			r.Rows = append(r.Rows, []string{"insecure",
+				cyc(baseline.cold.Mean()), cyc(baseline.warm.Mean()), cyc(baseline.write.Mean()), "1.0x"})
+			for _, part := range parts[1:] {
+				p := part.(*ablsecPartial)
+				r.Rows = append(r.Rows, []string{
+					p.name, cyc(p.cold.Mean()), cyc(p.warm.Mean()), cyc(p.write.Mean()),
+					fmt.Sprintf("%.1fx", p.cold.Mean()/baseline.cold.Mean()),
+				})
+			}
+			r.PaperClaim = "(context) metadata maintenance is the overhead that creates VUL-1/VUL-2's timing surface"
+			r.Measured = "secure cold reads pay the counter fetch + tree walk over the flat baseline"
+			return r, nil
+		},
+	}
+}
+
+// defrandPartial is one configuration's monitor outcome.
+type defrandPartial struct {
+	rows [][]string
+	acc  float64
+	cyc  float64
+}
+
+// runDefrandRounds drives one evict/victim/reload loop and reports the
+// classification accuracy and per-round cost.
+func runDefrandRounds(evict func(), reload func() (bool, arch.Cycles), victim func(), sys *machine.System) (float64, float64) {
+	correct, rounds := 0, 60
+	start := sys.Now()
+	for i := 0; i < rounds; i++ {
+		evict()
+		want := i%2 == 0
+		if want {
+			victim()
+		}
+		got, _ := reload()
+		if got == want {
+			correct++
+		}
+	}
+	return float64(correct) / float64(rounds), float64(sys.Now()-start) / float64(rounds)
 }
 
 // DefenseRandomizedMeta deploys MIRAGE as the metadata cache (§IX-B) and
@@ -131,77 +200,89 @@ func AblationSecureOverhead(o Options) (*Result, error) {
 // becomes impossible (no set geometry), yet MetaLeak-T survives via
 // volume-based eviction — at a cost quantified against the baseline.
 func DefenseRandomizedMeta(o Options) (*Result, error) {
+	return SpecDefenseRandomizedMeta(o).Run(context.Background(), 1)
+}
+
+// SpecDefenseRandomizedMeta declares the MIRAGE defence as two trials —
+// the set-associative baseline machine and the MIRAGE machine — merged
+// into the comparison table with the relative round cost.
+func SpecDefenseRandomizedMeta(o Options) *Spec {
 	o = o.withDefaults()
-	r := &Result{
-		ID:     "defrand",
-		Title:  "Defence: MIRAGE-randomized metadata cache vs. MetaLeak-T",
-		Header: []string{"configuration", "mEvict strategy", "accuracy (60 rounds)", "cycles/round"},
-	}
-
-	runRounds := func(evict func(), reload func() (bool, arch.Cycles), victim func(), sys *machine.System) (float64, float64) {
-		correct, rounds := 0, 60
-		start := sys.Now()
-		for i := 0; i < rounds; i++ {
-			evict()
-			want := i%2 == 0
-			if want {
-				victim()
-			}
-			got, _ := reload()
-			if got == want {
-				correct++
-			}
-		}
-		return float64(correct) / float64(rounds), float64(sys.Now()-start) / float64(rounds)
-	}
-
-	// Baseline: set-associative metadata cache, conflict-based monitor.
 	base := machine.ConfigSCT()
 	base.Seed = o.Seed + 95
 	base.SecurePages = 1 << 16
 	base.MetaKB = 16
 	base.FastCrypto = true
-	bSys := machine.NewSystem(base)
-	bVictim := bSys.AllocPage(1)
-	bAtk := core.NewAttacker(bSys.System, bSys.Ctrl, 0, false)
-	bMon, err := bAtk.NewMonitor(bVictim, 0)
-	if err != nil {
-		return nil, err
+	return &Spec{
+		ID:    "defrand",
+		Title: "Defence: MIRAGE-randomized metadata cache vs. MetaLeak-T",
+		Trials: []Trial{
+			{Name: "defrand/baseline", Run: func() (any, error) {
+				// Baseline: set-associative metadata cache, conflict-based
+				// monitor.
+				bSys := machine.NewSystem(base)
+				bVictim := bSys.AllocPage(1)
+				bAtk := core.NewAttacker(bSys.System, bSys.Ctrl, 0, false)
+				bMon, err := bAtk.NewMonitor(bVictim, 0)
+				if err != nil {
+					return nil, err
+				}
+				bMon.Calibrate(8)
+				bAcc, bCyc := runDefrandRounds(bMon.Evict, bMon.Reload, func() {
+					bSys.Flush(1, bVictim.Block(0))
+					bSys.Touch(1, bVictim.Block(0))
+				}, bSys)
+				return &defrandPartial{
+					rows: [][]string{{"set-associative (baseline)", "conflict eviction sets", pct(bAcc), cyc(bCyc)}},
+					acc:  bAcc,
+					cyc:  bCyc,
+				}, nil
+			}},
+			{Name: "defrand/mirage", Run: func() (any, error) {
+				// Defended: MIRAGE metadata cache.
+				dp := base
+				dp.Seed = o.Seed + 96
+				dp.RandomizedMeta = true
+				sys := machine.NewSystem(dp)
+				victimPage := sys.AllocPage(1)
+				attacker := core.NewAttacker(sys.System, sys.Ctrl, 0, false)
+				if _, err := attacker.NewMonitor(victimPage, 0); err == nil {
+					return nil, fmt.Errorf("defrand: conflict monitor unexpectedly built")
+				}
+				vm, err := attacker.NewVolumeMonitor(victimPage, 0, 800)
+				if err != nil {
+					return nil, err
+				}
+				vm.Calibrate(10)
+				vAcc, vCyc := runDefrandRounds(vm.Evict, vm.Reload, func() {
+					sys.Flush(1, victimPage.Block(0))
+					sys.Touch(1, victimPage.Block(0))
+				}, sys)
+				return &defrandPartial{
+					rows: [][]string{
+						{"MIRAGE metadata cache", "conflict eviction sets", "impossible (no set mapping)", "-"},
+						{"MIRAGE metadata cache", "volume flooding (Fig. 18)", pct(vAcc), cyc(vCyc)},
+					},
+					acc: vAcc,
+					cyc: vCyc,
+				}, nil
+			}},
+		},
+		Merge: func(parts []any) (*Result, error) {
+			baseline, mirage := parts[0].(*defrandPartial), parts[1].(*defrandPartial)
+			r := &Result{
+				ID:     "defrand",
+				Title:  "Defence: MIRAGE-randomized metadata cache vs. MetaLeak-T",
+				Header: []string{"configuration", "mEvict strategy", "accuracy (60 rounds)", "cycles/round"},
+			}
+			r.Rows = append(r.Rows, baseline.rows...)
+			r.Rows = append(r.Rows, mirage.rows...)
+			r.PaperClaim = "randomization defeats eviction-set construction but not MetaLeak: ~7000 random accesses still evict the target (Fig. 18 / §IX-B)"
+			r.Measured = fmt.Sprintf("conflict mEvict impossible; volume mEvict %s accurate at %.0fx the baseline round cost",
+				pct(mirage.acc), mirage.cyc/baseline.cyc)
+			return r, nil
+		},
 	}
-	bMon.Calibrate(8)
-	bAcc, bCyc := runRounds(bMon.Evict, bMon.Reload, func() {
-		bSys.Flush(1, bVictim.Block(0))
-		bSys.Touch(1, bVictim.Block(0))
-	}, bSys)
-	r.Rows = append(r.Rows, []string{"set-associative (baseline)", "conflict eviction sets", pct(bAcc), cyc(bCyc)})
-
-	// Defended: MIRAGE metadata cache.
-	dp := base
-	dp.Seed = o.Seed + 96
-	dp.RandomizedMeta = true
-	sys := machine.NewSystem(dp)
-	victimPage := sys.AllocPage(1)
-	attacker := core.NewAttacker(sys.System, sys.Ctrl, 0, false)
-	if _, err := attacker.NewMonitor(victimPage, 0); err == nil {
-		return nil, fmt.Errorf("defrand: conflict monitor unexpectedly built")
-	}
-	r.Rows = append(r.Rows, []string{"MIRAGE metadata cache", "conflict eviction sets", "impossible (no set mapping)", "-"})
-
-	vm, err := attacker.NewVolumeMonitor(victimPage, 0, 800)
-	if err != nil {
-		return nil, err
-	}
-	vm.Calibrate(10)
-	vAcc, vCyc := runRounds(vm.Evict, vm.Reload, func() {
-		sys.Flush(1, victimPage.Block(0))
-		sys.Touch(1, victimPage.Block(0))
-	}, sys)
-	r.Rows = append(r.Rows, []string{"MIRAGE metadata cache", "volume flooding (Fig. 18)", pct(vAcc), cyc(vCyc)})
-
-	r.PaperClaim = "randomization defeats eviction-set construction but not MetaLeak: ~7000 random accesses still evict the target (Fig. 18 / §IX-B)"
-	r.Measured = fmt.Sprintf("conflict mEvict impossible; volume mEvict %s accurate at %.0fx the baseline round cost",
-		pct(vAcc), vCyc/bCyc)
-	return r, nil
 }
 
 // DefenseLadder evaluates the classic software countermeasure: the same
@@ -210,14 +291,15 @@ func DefenseRandomizedMeta(o Options) (*Result, error) {
 // near-perfect in both cases — but the ladder's access sequence carries no
 // key information, so recovery collapses to coin-flipping.
 func DefenseLadder(o Options) (*Result, error) {
+	return SpecDefenseLadder(o).Run(context.Background(), 1)
+}
+
+// SpecDefenseLadder declares the ladder study as one trial per victim
+// implementation, each attacked on its own machine.
+func SpecDefenseLadder(o Options) *Spec {
 	o = o.withDefaults()
-	r := &Result{
-		ID:     "defladder",
-		Title:  "Defence: constant-sequence exponentiation (Montgomery ladder) vs. MetaLeak-T",
-		Header: []string{"victim implementation", "ops observed", "op classification", "exponent recovery"},
-	}
 	type expRun func(v *victim.RSAVictim, base, e, m mpi.Int, iv *victim.Interleave) (mpi.Int, []victim.Op)
-	run := func(name string, f expRun) error {
+	run := func(name string, f expRun) (any, error) {
 		dp := machine.ConfigSCT()
 		dp.Seed = o.Seed + 98
 		dp.SecurePages = 1 << 16
@@ -225,12 +307,12 @@ func DefenseLadder(o Options) (*Result, error) {
 		attacker := core.NewAttacker(sys.System, sys.Ctrl, 0, false)
 		frames, err := attacker.PlaceVictimPages(1, 2, 0)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		rv := &victim.RSAVictim{Proc: victim.NewProc(sys.System, 1), SqrPage: frames[0], MulPage: frames[1]}
 		dm, err := attacker.NewDualMonitor(rv.SqrPage, rv.MulPage, 0)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		rng := arch.NewRNG(o.Seed ^ 0x1ad)
 		exp := mpi.Random(rng, o.ExpBits)
@@ -254,19 +336,34 @@ func DefenseLadder(o Options) (*Result, error) {
 		bits := reconstruct.ExponentFromOps(ops)
 		want := reconstruct.BitsOfExponent(exp)
 		bitAcc := reconstruct.AlignedAccuracy(bits, want)
-		r.Rows = append(r.Rows, []string{
+		return []string{
 			name, fmt.Sprintf("%d", len(oracle)), pct(opAcc), pct(bitAcc),
-		})
-		return nil
+		}, nil
 	}
-	if err := run("square-and-multiply (libgcrypt 1.5.2)", (*victim.RSAVictim).ModExp); err != nil {
-		return nil, err
+	return &Spec{
+		ID:    "defladder",
+		Title: "Defence: constant-sequence exponentiation (Montgomery ladder) vs. MetaLeak-T",
+		Trials: []Trial{
+			{Name: "defladder/sqmul", Run: func() (any, error) {
+				return run("square-and-multiply (libgcrypt 1.5.2)", (*victim.RSAVictim).ModExp)
+			}},
+			{Name: "defladder/ladder", Run: func() (any, error) {
+				return run("Montgomery ladder (hardened)", (*victim.RSAVictim).ModExpLadder)
+			}},
+		},
+		Merge: func(parts []any) (*Result, error) {
+			r := &Result{
+				ID:     "defladder",
+				Title:  "Defence: constant-sequence exponentiation (Montgomery ladder) vs. MetaLeak-T",
+				Header: []string{"victim implementation", "ops observed", "op classification", "exponent recovery"},
+			}
+			for _, part := range parts {
+				r.Rows = append(r.Rows, part.([]string))
+			}
+			r.PaperClaim = "(§IX context) constant-sequence implementations remove the call-sequence leak even though the channel itself persists"
+			r.Measured = fmt.Sprintf("ops classified %s vs %s; key recovery %s vs %s",
+				r.Rows[0][2], r.Rows[1][2], r.Rows[0][3], r.Rows[1][3])
+			return r, nil
+		},
 	}
-	if err := run("Montgomery ladder (hardened)", (*victim.RSAVictim).ModExpLadder); err != nil {
-		return nil, err
-	}
-	r.PaperClaim = "(§IX context) constant-sequence implementations remove the call-sequence leak even though the channel itself persists"
-	r.Measured = fmt.Sprintf("ops classified %s vs %s; key recovery %s vs %s",
-		r.Rows[0][2], r.Rows[1][2], r.Rows[0][3], r.Rows[1][3])
-	return r, nil
 }

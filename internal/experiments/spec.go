@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"metaleak/internal/runner"
+)
+
+// Trial is one independent unit of an experiment. Each trial builds its
+// own machine(s) from seeds derived deterministically from Options.Seed
+// and the trial's identity, and returns a partial result for Merge; it
+// must not share mutable state with any other trial of the spec.
+type Trial struct {
+	// Name labels the trial in errors and progress output ("fig11/sct").
+	Name string
+	// Run executes the trial and returns its partial result.
+	Run func() (any, error)
+}
+
+// Spec declares one experiment as a bundle of independent trials plus a
+// pure merge — the shape every figure of the paper actually has. The
+// runner may execute trials in any order and with any parallelism;
+// Merge always receives the partials in trial-index order, so the
+// assembled Result is byte-identical for any worker count.
+type Spec struct {
+	// ID is the registry key ("fig6", "table1", ...).
+	ID string
+	// Title matches the assembled Result's title.
+	Title string
+	// Trials are the independent units of work.
+	Trials []Trial
+	// Merge assembles the final Result from the trial partials,
+	// index-aligned with Trials. It must be pure and order-independent:
+	// no machine access, no RNG draws, no dependence on completion
+	// order — only on the partials themselves.
+	Merge func(parts []any) (*Result, error)
+}
+
+// Run executes the spec's trials with at most `workers` in flight
+// (workers <= 0 selects GOMAXPROCS) and merges the partials. Output is
+// identical for every worker count, including 1.
+func (s *Spec) Run(ctx context.Context, workers int) (*Result, error) {
+	trials := make([]runner.Trial, len(s.Trials))
+	for i := range s.Trials {
+		trials[i] = s.Trials[i].Run
+	}
+	parts, err := runner.Run(ctx, trials, workers)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", s.ID, err)
+	}
+	return s.Merge(parts)
+}
+
+// single wraps a monolithic experiment body as a one-trial spec — the
+// migration shape for experiments whose samples share machine history
+// (e.g. path-4 latencies depend on what the previous group loaded) and
+// therefore cannot be split without changing their results.
+func single(id, title string, run func() (*Result, error)) *Spec {
+	return &Spec{
+		ID:    id,
+		Title: title,
+		Trials: []Trial{{
+			Name: id,
+			Run:  func() (any, error) { return run() },
+		}},
+		Merge: func(parts []any) (*Result, error) {
+			return parts[0].(*Result), nil
+		},
+	}
+}
+
+// Run builds and executes one registered experiment at the given trial
+// parallelism.
+func Run(ctx context.Context, id string, o Options, workers int) (*Result, error) {
+	mk, ok := Registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+	}
+	return mk(o).Run(ctx, workers)
+}

@@ -1,0 +1,266 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"metaleak/internal/arch"
+	"metaleak/internal/core"
+	"metaleak/internal/machine"
+	"metaleak/internal/runner"
+	"metaleak/internal/stats"
+)
+
+// The sweep engine crosses the machine.DesignPoint ablation axes into a
+// grid of cells, runs every cell as an independent trial on the worker
+// pool, and aggregates replications per grid point with the mergeable
+// accumulators. Unlike the figure experiments — which fail the whole run
+// on any error — a sweep is exploratory: a cell whose design point is
+// broken (say, a minor width the tree rejects) reports its error in the
+// row and the rest of the grid still completes.
+
+// SweepAxes enumerates the design-point grid of `metaleak sweep`. The
+// cross product Configs x MinorBits x MetaKB x Noise, replicated Seeds
+// times, defines the cell list; every cell's machine seed is derived
+// from (Seed, axis indices, rep) through an arch.NewRNG stream, so the
+// grid shape — not the completion order — determines every result.
+type SweepAxes struct {
+	Configs   []string      // base design points: "sct", "ht", "sgx"
+	MinorBits []uint        // SC/SCT minor counter widths
+	MetaKB    []int         // metadata cache sizes
+	Noise     []arch.Cycles // background-traffic burst intervals (0 = off)
+	Seeds     int           // replications per grid point
+	Seed      uint64        // base seed
+	Bits      int           // covert transmission length per cell
+}
+
+// DefaultSweepAxes returns a single-cell grid at the paper's SCT design
+// point — the identity sweep, useful as a smoke test.
+func DefaultSweepAxes() SweepAxes {
+	return SweepAxes{
+		Configs:   []string{"sct"},
+		MinorBits: []uint{7},
+		MetaKB:    []int{256},
+		Noise:     []arch.Cycles{0},
+		Seeds:     1,
+		Bits:      120,
+	}
+}
+
+// SweepCell is one point of the expanded grid.
+type SweepCell struct {
+	Index     int // position in deterministic grid order
+	Config    string
+	MinorBits uint
+	MetaKB    int
+	Noise     arch.Cycles
+	Rep       int
+	Seed      uint64 // derived machine seed for this cell
+}
+
+// SweepRow is one cell's measurements. Err is non-empty when the cell
+// failed (the rest of the sweep is unaffected).
+type SweepRow struct {
+	SweepCell
+	CovertAccuracy  float64
+	CyclesPerBit    float64
+	MonitorAccuracy float64
+	Err             string `json:",omitempty"`
+}
+
+// CSVHeader returns the column names of CSVRecord.
+func CSVHeader() []string {
+	return []string{"config", "minor_bits", "meta_kb", "noise", "rep", "seed",
+		"covert_accuracy", "cycles_per_bit", "monitor_accuracy", "err"}
+}
+
+// CSVRecord renders the row for `metaleak sweep`'s CSV output.
+func (r SweepRow) CSVRecord() []string {
+	return []string{
+		r.Config,
+		fmt.Sprintf("%d", r.MinorBits),
+		fmt.Sprintf("%d", r.MetaKB),
+		fmt.Sprintf("%d", r.Noise),
+		fmt.Sprintf("%d", r.Rep),
+		fmt.Sprintf("%d", r.Seed),
+		fmt.Sprintf("%.4f", r.CovertAccuracy),
+		fmt.Sprintf("%.1f", r.CyclesPerBit),
+		fmt.Sprintf("%.4f", r.MonitorAccuracy),
+		r.Err,
+	}
+}
+
+// Cells expands the grid in deterministic nested order (configs
+// outermost, reps innermost).
+func (a SweepAxes) Cells() []SweepCell {
+	var cells []SweepCell
+	for ci, cfg := range a.Configs {
+		for mi, minor := range a.MinorBits {
+			for ki, kb := range a.MetaKB {
+				for ni, noise := range a.Noise {
+					for rep := 0; rep < a.Seeds; rep++ {
+						cells = append(cells, SweepCell{
+							Index:     len(cells),
+							Config:    cfg,
+							MinorBits: minor,
+							MetaKB:    kb,
+							Noise:     noise,
+							Rep:       rep,
+							Seed: arch.NewRNG(a.Seed,
+								uint64(ci), uint64(mi), uint64(ki), uint64(ni), uint64(rep)).Uint64(),
+						})
+					}
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// sweepConfig resolves a config name to its base design point and the
+// tree level the attacks target (the SGX calibration shares at L1, the
+// simulated designs at L0).
+func sweepConfig(name string) (machine.DesignPoint, int, error) {
+	switch strings.ToLower(name) {
+	case "sct":
+		return machine.ConfigSCT(), 0, nil
+	case "ht":
+		return machine.ConfigHT(), 0, nil
+	case "sgx":
+		return machine.ConfigSGX(), 1, nil
+	}
+	return machine.DesignPoint{}, 0, fmt.Errorf("sweep: unknown config %q (sct, ht, or sgx)", name)
+}
+
+// runSweepCell measures one cell: the MetaLeak-T covert channel's bit
+// accuracy and cost, and the single-node monitor's classification
+// accuracy, each on its own machine seeded from the cell.
+func runSweepCell(c SweepCell, bits int) (SweepRow, error) {
+	row := SweepRow{SweepCell: c}
+	base, level, err := sweepConfig(c.Config)
+	if err != nil {
+		return row, err
+	}
+	base.MinorBits = c.MinorBits
+	base.MetaKB = c.MetaKB
+	base.NoiseInterval = c.Noise
+	if c.Noise > 0 {
+		base.NoisePages = 1024
+	}
+
+	// Covert-channel probe.
+	dp := base
+	dp.Seed = arch.NewRNG(c.Seed, 1).Uint64()
+	sys := machine.NewSystem(dp)
+	trojan, spy := attackerPair(sys)
+	ch, err := core.NewCovertT(trojan, spy, level)
+	if err != nil {
+		return row, err
+	}
+	rng := arch.NewRNG(c.Seed, 2)
+	start := sys.Now()
+	for i := 0; i < bits; i++ {
+		ch.SendBit(rng.Bool(0.5))
+	}
+	row.CovertAccuracy = ch.Accuracy()
+	row.CyclesPerBit = ch.CyclesPerBit(sys.Now() - start)
+
+	// Monitor probe.
+	dpM := base
+	dpM.Seed = arch.NewRNG(c.Seed, 3).Uint64()
+	sysM := machine.NewSystem(dpM)
+	attacker := coreAttacker(sysM)
+	vicPage := sysM.AllocPage(1)
+	m, err := attacker.NewMonitor(vicPage, level)
+	if err != nil {
+		return row, err
+	}
+	m.Calibrate(8)
+	correct, rounds := 0, 40
+	for i := 0; i < rounds; i++ {
+		m.Evict()
+		want := i%2 == 0
+		if want {
+			sysM.Flush(1, vicPage.Block(0))
+			sysM.Touch(1, vicPage.Block(0))
+		}
+		got, _ := m.Reload()
+		if got == want {
+			correct++
+		}
+	}
+	row.MonitorAccuracy = float64(correct) / float64(rounds)
+	return row, nil
+}
+
+// Sweep runs the whole grid with at most `workers` cells in flight and
+// returns one row per cell in grid order. Cell failures land in the
+// rows' Err fields; only a cancelled context aborts the sweep.
+func Sweep(ctx context.Context, axes SweepAxes, workers int) ([]SweepRow, error) {
+	if axes.Bits <= 0 {
+		axes.Bits = DefaultSweepAxes().Bits
+	}
+	if axes.Seeds <= 0 {
+		axes.Seeds = 1
+	}
+	cells := axes.Cells()
+	trials := make([]runner.Trial, len(cells))
+	for i, c := range cells {
+		c := c
+		trials[i] = func() (any, error) { return runSweepCell(c, axes.Bits) }
+	}
+	parts, errs := runner.RunAll(ctx, trials, workers)
+	rows := make([]SweepRow, len(cells))
+	for i := range cells {
+		switch {
+		case errs[i] != nil:
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			rows[i] = SweepRow{SweepCell: cells[i], Err: errs[i].Error()}
+		default:
+			rows[i] = parts[i].(SweepRow)
+		}
+	}
+	return rows, nil
+}
+
+// SweepPoint aggregates one grid point's replications.
+type SweepPoint struct {
+	Config    string
+	MinorBits uint
+	MetaKB    int
+	Noise     arch.Cycles
+	Covert    stats.MeanVar
+	Monitor   stats.MeanVar
+	Errs      int
+}
+
+// Aggregate folds the rows' replications per grid point, preserving grid
+// order. The accumulators merge associatively, so the fold is
+// independent of how the rows were produced.
+func (a SweepAxes) Aggregate(rows []SweepRow) []SweepPoint {
+	byKey := map[string]*SweepPoint{}
+	var order []*SweepPoint
+	for _, r := range rows {
+		key := fmt.Sprintf("%s/%d/%d/%d", r.Config, r.MinorBits, r.MetaKB, r.Noise)
+		p := byKey[key]
+		if p == nil {
+			p = &SweepPoint{Config: r.Config, MinorBits: r.MinorBits, MetaKB: r.MetaKB, Noise: r.Noise}
+			byKey[key] = p
+			order = append(order, p)
+		}
+		if r.Err != "" {
+			p.Errs++
+			continue
+		}
+		p.Covert.Add(r.CovertAccuracy)
+		p.Monitor.Add(r.MonitorAccuracy)
+	}
+	out := make([]SweepPoint, len(order))
+	for i, p := range order {
+		out[i] = *p
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"metaleak/internal/arch"
+)
+
+func tinyAxes() SweepAxes {
+	return SweepAxes{
+		Configs:   []string{"sct"},
+		MinorBits: []uint{6, 7},
+		MetaKB:    []int{64},
+		Noise:     []arch.Cycles{0},
+		Seeds:     2,
+		Seed:      9,
+		Bits:      16,
+	}
+}
+
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	axes := tinyAxes()
+	seq, err := Sweep(context.Background(), axes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Sweep(context.Background(), axes, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("sweep differs across worker counts:\nseq %+v\npar %+v", seq, par)
+	}
+	if len(seq) != 4 {
+		t.Fatalf("2 minors x 2 reps should be 4 cells, got %d", len(seq))
+	}
+	for i, r := range seq {
+		if r.Index != i {
+			t.Fatalf("row %d carries index %d", i, r.Index)
+		}
+		if r.Err != "" {
+			t.Fatalf("cell %d failed: %s", i, r.Err)
+		}
+	}
+}
+
+func TestSweepCellFailureIsolated(t *testing.T) {
+	axes := tinyAxes()
+	axes.Configs = []string{"sct", "bogus"}
+	axes.MinorBits = []uint{7}
+	axes.Seeds = 1
+	rows, err := Sweep(context.Background(), axes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[0].Err != "" {
+		t.Fatalf("healthy cell failed: %s", rows[0].Err)
+	}
+	if !strings.Contains(rows[1].Err, "unknown config") {
+		t.Fatalf("broken cell error %q", rows[1].Err)
+	}
+
+	points := axes.Aggregate(rows)
+	if len(points) != 2 {
+		t.Fatalf("got %d aggregate points", len(points))
+	}
+	if points[0].Covert.N != 1 || points[0].Errs != 0 {
+		t.Fatalf("healthy point %+v", points[0])
+	}
+	if points[1].Covert.N != 0 || points[1].Errs != 1 {
+		t.Fatalf("broken point %+v", points[1])
+	}
+}
+
+func TestSweepSeedsPerturbCells(t *testing.T) {
+	axes := tinyAxes()
+	cells := axes.Cells()
+	seen := map[uint64]bool{}
+	for _, c := range cells {
+		if seen[c.Seed] {
+			t.Fatalf("derived seed %d repeats across cells", c.Seed)
+		}
+		seen[c.Seed] = true
+	}
+	axes2 := axes
+	axes2.Seed = axes.Seed + 1
+	if axes2.Cells()[0].Seed == cells[0].Seed {
+		t.Fatal("base seed does not perturb cell seeds")
+	}
+}

@@ -1,0 +1,135 @@
+// Package runner is the deterministic parallel sweep engine behind the
+// experiment layer: it executes independent trials on a bounded worker
+// pool and assembles their results in trial-index order, so the output
+// of a run is byte-identical for any worker count.
+//
+// The contract that makes this safe is the spec/trial/merge shape of
+// internal/experiments: every trial builds its own machine from a seed
+// derived from the experiment seed and the trial's identity, shares no
+// mutable state with its siblings, and the merge step that consumes the
+// results is pure. The runner then only has to guarantee ordering —
+// trials may *complete* in any order, but results are always *consumed*
+// in index order — and containment: a trial that fails or panics
+// reports an error instead of killing the sweep.
+//
+// Wall-clock time never appears here; the runner schedules host work,
+// it does not participate in simulated time, which lives entirely
+// inside each trial's private machine.
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Trial is one independent unit of work. Implementations must not share
+// mutable state with other trials scheduled in the same call.
+type Trial func() (any, error)
+
+// TrialError records the failure of one trial: an ordinary error, a
+// captured panic, or cancellation before the trial started.
+type TrialError struct {
+	// Index is the trial's position in the submitted slice.
+	Index int
+	// Err is the underlying failure.
+	Err error
+	// Stack holds the goroutine stack if the trial panicked. It is kept
+	// out of Error() so error strings stay deterministic (stack dumps
+	// embed addresses).
+	Stack []byte
+}
+
+func (e *TrialError) Error() string { return fmt.Sprintf("trial %d: %v", e.Index, e.Err) }
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *TrialError) Unwrap() error { return e.Err }
+
+// RunAll executes the trials with at most `workers` running at once and
+// returns results and errors index-aligned with the input: results[i]
+// and errs[i] belong to trials[i] no matter which worker ran it or
+// when it finished. A failed or panicking trial occupies its error slot
+// and the sweep continues; after ctx is cancelled, in-flight trials run
+// to completion (trials are not preemptible) and not-yet-started trials
+// report ctx's error without running.
+//
+// workers <= 0 selects runtime.GOMAXPROCS(0).
+func RunAll(ctx context.Context, trials []Trial, workers int) ([]any, []error) {
+	results := make([]any, len(trials))
+	errs := make([]error, len(trials))
+	if len(trials) == 0 {
+		return results, errs
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(trials) {
+		workers = len(trials)
+	}
+
+	// Work distribution is a prefilled channel of indices: workers pull
+	// the next index when free, so a slow trial never blocks the rest of
+	// the queue behind it. Each worker writes only results[i]/errs[i] for
+	// the indices it pulled — disjoint slots, no locking; the WaitGroup
+	// provides the happens-before edge to the reader.
+	idx := make(chan int, len(trials))
+	for i := range trials {
+		idx <- i
+	}
+	close(idx)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if err := ctx.Err(); err != nil {
+					errs[i] = &TrialError{Index: i, Err: err}
+					continue
+				}
+				results[i], errs[i] = runOne(trials[i], i)
+			}
+		}()
+	}
+	wg.Wait()
+	return results, errs
+}
+
+// Run executes the trials like RunAll and folds any failures into a
+// single error, joined in trial-index order (deterministic regardless
+// of completion order). The results slice is returned even on error so
+// callers that tolerate partial failure can inspect the survivors.
+func Run(ctx context.Context, trials []Trial, workers int) ([]any, error) {
+	results, errs := RunAll(ctx, trials, workers)
+	var failed []error
+	for _, err := range errs {
+		if err != nil {
+			failed = append(failed, err)
+		}
+	}
+	if len(failed) > 0 {
+		return results, errors.Join(failed...)
+	}
+	return results, nil
+}
+
+// runOne executes a single trial with panic containment: a panicking
+// trial surfaces as a TrialError carrying the stack instead of tearing
+// down the pool.
+func runOne(t Trial, i int) (res any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = &TrialError{Index: i, Err: fmt.Errorf("panic: %v", r), Stack: debug.Stack()}
+		}
+	}()
+	res, err = t()
+	if err != nil {
+		err = &TrialError{Index: i, Err: err}
+	}
+	return res, err
+}

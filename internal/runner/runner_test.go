@@ -1,0 +1,185 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// squareTrials builds n trials returning their squared index, with a
+// deterministic per-trial side effect counter to verify each ran once.
+func squareTrials(n int, ran []int32) []Trial {
+	trials := make([]Trial, n)
+	for i := 0; i < n; i++ {
+		i := i
+		trials[i] = func() (any, error) {
+			ran[i]++
+			return i * i, nil
+		}
+	}
+	return trials
+}
+
+// TestWorkerCountInvariance runs one trial set at 1, 2, and 8 workers
+// and requires identical assembled results — the property the
+// experiment layer's determinism contract rests on.
+func TestWorkerCountInvariance(t *testing.T) {
+	const n = 64
+	var want []any
+	for _, workers := range []int{1, 2, 8} {
+		ran := make([]int32, n)
+		results, err := Run(context.Background(), squareTrials(n, ran), workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range ran {
+			if c != 1 {
+				t.Fatalf("workers=%d: trial %d ran %d times", workers, i, c)
+			}
+		}
+		if want == nil {
+			want = results
+			continue
+		}
+		if !reflect.DeepEqual(results, want) {
+			t.Fatalf("workers=%d: results differ from workers=1", workers)
+		}
+	}
+}
+
+// TestErrorIsolation checks that a failing trial reports its error in
+// its own slot while every other trial still runs and succeeds, and
+// that Run's joined error is deterministic (index order).
+func TestErrorIsolation(t *testing.T) {
+	boom := errors.New("boom")
+	trials := []Trial{
+		func() (any, error) { return "a", nil },
+		func() (any, error) { return nil, boom },
+		func() (any, error) { return "c", nil },
+		func() (any, error) { return nil, fmt.Errorf("late failure") },
+	}
+	results, errs := RunAll(context.Background(), trials, 4)
+	if results[0] != "a" || results[2] != "c" {
+		t.Fatalf("healthy trials lost: %v", results)
+	}
+	if errs[0] != nil || errs[2] != nil {
+		t.Fatalf("healthy trials errored: %v", errs)
+	}
+	var te *TrialError
+	if !errors.As(errs[1], &te) || te.Index != 1 || !errors.Is(errs[1], boom) {
+		t.Fatalf("trial 1 error malformed: %v", errs[1])
+	}
+
+	_, err := Run(context.Background(), trials, 4)
+	want := "trial 1: boom\ntrial 3: late failure"
+	if err == nil || err.Error() != want {
+		t.Fatalf("joined error not in index order:\n got %q\nwant %q", err, want)
+	}
+}
+
+// TestPanicContainment checks that a panicking trial surfaces as a
+// TrialError with a captured stack, without deadlocking the pool or
+// poisoning its siblings.
+func TestPanicContainment(t *testing.T) {
+	trials := []Trial{
+		func() (any, error) { return 1, nil },
+		func() (any, error) { panic("kaboom") },
+		func() (any, error) { return 3, nil },
+	}
+	results, errs := RunAll(context.Background(), trials, 2)
+	if results[0] != 1 || results[2] != 3 {
+		t.Fatalf("siblings of the panicking trial lost: %v", results)
+	}
+	var te *TrialError
+	if !errors.As(errs[1], &te) {
+		t.Fatalf("panic not converted to TrialError: %v", errs[1])
+	}
+	if te.Index != 1 || len(te.Stack) == 0 {
+		t.Fatalf("panic TrialError incomplete: index=%d stack=%d bytes", te.Index, len(te.Stack))
+	}
+	if want := "trial 1: panic: kaboom"; te.Error() != want {
+		t.Fatalf("panic error string %q, want %q (stack must stay out of Error())", te.Error(), want)
+	}
+}
+
+// TestCancellation cancels mid-sweep: trials already started finish,
+// not-yet-started trials are skipped with the context error, and the
+// call returns promptly (no send to a full channel, no leaked workers).
+func TestCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	const n = 16
+	release := make(chan struct{})
+	started := make(chan int, n)
+	trials := make([]Trial, n)
+	for i := 0; i < n; i++ {
+		i := i
+		trials[i] = func() (any, error) {
+			started <- i
+			<-release
+			return i, nil
+		}
+	}
+
+	var wg sync.WaitGroup
+	var results []any
+	var errs []error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		results, errs = RunAll(ctx, trials, 2)
+	}()
+
+	// Two trials are in flight (2 workers). Cancel, then let them finish.
+	<-started
+	<-started
+	cancel()
+	close(release)
+	wg.Wait()
+
+	completed, skipped := 0, 0
+	for i := range trials {
+		switch {
+		case errs[i] == nil:
+			if results[i] != i {
+				t.Fatalf("trial %d completed with wrong result %v", i, results[i])
+			}
+			completed++
+		case errors.Is(errs[i], context.Canceled):
+			skipped++
+		default:
+			t.Fatalf("trial %d: unexpected error %v", i, errs[i])
+		}
+	}
+	if completed != 2 {
+		t.Fatalf("expected exactly the 2 in-flight trials to complete, got %d", completed)
+	}
+	if skipped != n-2 {
+		t.Fatalf("expected %d trials skipped with ctx error, got %d", n-2, skipped)
+	}
+
+	// Run must report the cancellation as an error, partial results intact.
+	if _, err := Run(ctx, []Trial{func() (any, error) { return nil, nil }}, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run on cancelled ctx: %v", err)
+	}
+}
+
+// TestWorkerDefaults covers the workers<=0 (GOMAXPROCS) path and the
+// empty trial slice.
+func TestWorkerDefaults(t *testing.T) {
+	results, err := Run(context.Background(), nil, 0)
+	if err != nil || len(results) != 0 {
+		t.Fatalf("empty run: %v %v", results, err)
+	}
+	ran := make([]int32, 3)
+	if _, err := Run(context.Background(), squareTrials(3, ran), -1); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range ran {
+		if c != 1 {
+			t.Fatalf("trial %d ran %d times under default workers", i, c)
+		}
+	}
+}

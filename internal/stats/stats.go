@@ -169,6 +169,146 @@ func Separate(fast, slow Sample) Separation {
 // Accuracy is 1 - Overlap: the naive threshold classifier's accuracy.
 func (s Separation) Accuracy() float64 { return 1 - s.Overlap }
 
+// Mergeable accumulators ----------------------------------------------------
+//
+// The spec/trial/merge harness needs per-trial summaries that combine
+// associatively, so an experiment's Merge step can fold any partition
+// of its trials in trial-index order without ever touching raw sample
+// slices. Counter, MeanVar, and FixedHistogram are those summaries:
+// Merge(a, Merge(b, c)) == Merge(Merge(a, b), c) exactly (integer
+// state) or to floating-point associativity (MeanVar, which uses the
+// Chan et al. pairwise update).
+
+// Counter is a mergeable hit counter: N observations, Hits positive.
+type Counter struct {
+	N    int
+	Hits int
+}
+
+// Observe records one boolean observation.
+func (c *Counter) Observe(hit bool) {
+	c.N++
+	if hit {
+		c.Hits++
+	}
+}
+
+// Merge combines two counters.
+func (c Counter) Merge(o Counter) Counter {
+	return Counter{N: c.N + o.N, Hits: c.Hits + o.Hits}
+}
+
+// Rate returns Hits/N (0 for an empty counter).
+func (c Counter) Rate() float64 {
+	if c.N == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(c.N)
+}
+
+// MeanVar is a mergeable mean/variance accumulator (count, mean, and
+// the centered second moment M2), combining with the parallel update of
+// Chan, Golub & LeVeque.
+type MeanVar struct {
+	N    int
+	Mean float64
+	M2   float64
+}
+
+// Add folds one value in (Welford's online update).
+func (m *MeanVar) Add(v float64) {
+	m.N++
+	d := v - m.Mean
+	m.Mean += d / float64(m.N)
+	m.M2 += d * (v - m.Mean)
+}
+
+// AddCycles folds one cycle measurement in.
+func (m *MeanVar) AddCycles(v arch.Cycles) { m.Add(float64(v)) }
+
+// Merge combines two accumulators as if every value had been added to
+// one.
+func (m MeanVar) Merge(o MeanVar) MeanVar {
+	if m.N == 0 {
+		return o
+	}
+	if o.N == 0 {
+		return m
+	}
+	n := m.N + o.N
+	d := o.Mean - m.Mean
+	return MeanVar{
+		N:    n,
+		Mean: m.Mean + d*float64(o.N)/float64(n),
+		M2:   m.M2 + o.M2 + d*d*float64(m.N)*float64(o.N)/float64(n),
+	}
+}
+
+// Variance returns the population variance (0 for N < 2).
+func (m MeanVar) Variance() float64 {
+	if m.N < 2 {
+		return 0
+	}
+	return m.M2 / float64(m.N)
+}
+
+// Std returns the population standard deviation.
+func (m MeanVar) Std() float64 { return math.Sqrt(m.Variance()) }
+
+// FixedHistogram is a mergeable histogram over a fixed bucket geometry
+// (unlike Histogram, whose buckets are fitted to one sample's range and
+// therefore cannot be combined). Values below Lo clamp into the first
+// bucket; values at or beyond the last edge clamp into the last.
+type FixedHistogram struct {
+	Lo     arch.Cycles
+	Width  arch.Cycles
+	Counts []int
+	Total  int
+}
+
+// NewFixedHistogram builds an empty histogram of n buckets of the given
+// width starting at lo.
+func NewFixedHistogram(lo, width arch.Cycles, n int) *FixedHistogram {
+	if n < 1 {
+		n = 1
+	}
+	if width < 1 {
+		width = 1
+	}
+	return &FixedHistogram{Lo: lo, Width: width, Counts: make([]int, n)}
+}
+
+// Add bins one measurement.
+func (h *FixedHistogram) Add(v arch.Cycles) {
+	i := 0
+	if v > h.Lo {
+		i = int((v - h.Lo) / h.Width)
+	}
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+	h.Total++
+}
+
+// Merge folds another histogram with identical geometry into this one.
+func (h *FixedHistogram) Merge(o *FixedHistogram) error {
+	if o.Lo != h.Lo || o.Width != h.Width || len(o.Counts) != len(h.Counts) {
+		return fmt.Errorf("stats: merging histograms with different geometry (lo %d/%d width %d/%d buckets %d/%d)",
+			h.Lo, o.Lo, h.Width, o.Width, len(h.Counts), len(o.Counts))
+	}
+	for i, c := range o.Counts {
+		h.Counts[i] += c
+	}
+	h.Total += o.Total
+	return nil
+}
+
+// ASCII renders the histogram like Histogram.ASCII.
+func (h *FixedHistogram) ASCII(barWidth int) string {
+	return (&Histogram{Lo: h.Lo, Width: h.Width, Counts: h.Counts, Total: h.Total}).ASCII(barWidth)
+}
+
 // BitErrorRate compares two bit strings of equal meaning.
 func BitErrorRate(got, want []bool) float64 {
 	n := len(want)

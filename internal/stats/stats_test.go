@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"math"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -121,5 +122,95 @@ func TestBitErrorRate(t *testing.T) {
 	}
 	if BitErrorRate([]bool{true}, []bool{true, true}) != 0.5 {
 		t.Fatal("length mismatch not counted")
+	}
+}
+
+func TestCounterMerge(t *testing.T) {
+	var a, b Counter
+	for i := 0; i < 10; i++ {
+		a.Observe(i%2 == 0)
+	}
+	for i := 0; i < 6; i++ {
+		b.Observe(true)
+	}
+	m := a.Merge(b)
+	if m.N != 16 || m.Hits != 11 {
+		t.Fatalf("merged counter %+v", m)
+	}
+	if got := m.Rate(); got != 11.0/16.0 {
+		t.Fatalf("rate %v", got)
+	}
+	if (Counter{}).Rate() != 0 {
+		t.Fatal("empty counter rate not 0")
+	}
+}
+
+func TestMeanVarMergeMatchesSequential(t *testing.T) {
+	vals := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7}
+	var whole MeanVar
+	for _, v := range vals {
+		whole.Add(v)
+	}
+	// Every split point must merge back to the sequential accumulator.
+	for cut := 0; cut <= len(vals); cut++ {
+		var left, right MeanVar
+		for _, v := range vals[:cut] {
+			left.Add(v)
+		}
+		for _, v := range vals[cut:] {
+			right.Add(v)
+		}
+		m := left.Merge(right)
+		if m.N != whole.N {
+			t.Fatalf("cut %d: N %d != %d", cut, m.N, whole.N)
+		}
+		if math.Abs(m.Mean-whole.Mean) > 1e-9 || math.Abs(m.Variance()-whole.Variance()) > 1e-9 {
+			t.Fatalf("cut %d: merged mean/var %v/%v != %v/%v",
+				cut, m.Mean, m.Variance(), whole.Mean, whole.Variance())
+		}
+	}
+}
+
+func TestMeanVarMergeAssociative(t *testing.T) {
+	mk := func(vals ...float64) MeanVar {
+		var m MeanVar
+		for _, v := range vals {
+			m.Add(v)
+		}
+		return m
+	}
+	a, b, c := mk(1, 2), mk(10, 20, 30), mk(5)
+	l := a.Merge(b).Merge(c)
+	r := a.Merge(b.Merge(c))
+	if l.N != r.N || math.Abs(l.Mean-r.Mean) > 1e-9 || math.Abs(l.M2-r.M2) > 1e-6 {
+		t.Fatalf("associativity broken: %+v vs %+v", l, r)
+	}
+}
+
+func TestFixedHistogramMerge(t *testing.T) {
+	a := NewFixedHistogram(100, 10, 5)
+	b := NewFixedHistogram(100, 10, 5)
+	for _, v := range []arch.Cycles{50, 105, 120, 1000} {
+		a.Add(v) // 50 clamps low, 1000 clamps high
+	}
+	b.Add(115)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Total != 5 {
+		t.Fatalf("total %d", a.Total)
+	}
+	want := []int{2, 1, 1, 0, 1}
+	for i, c := range want {
+		if a.Counts[i] != c {
+			t.Fatalf("bucket %d: %d != %d (%v)", i, a.Counts[i], c, a.Counts)
+		}
+	}
+	if a.ASCII(10) == "" {
+		t.Fatal("empty ASCII rendering")
+	}
+	bad := NewFixedHistogram(0, 10, 5)
+	if err := a.Merge(bad); err == nil {
+		t.Fatal("geometry mismatch accepted")
 	}
 }
