@@ -8,14 +8,18 @@
 //	metaleak report              [-full] [-seed N] [-par N]
 //	metaleak sweep               [-configs sct,ht] [-minor 6,7] [-meta 64,256]
 //	                             [-noise 0,8000] [-seeds N] [-seed N] [-bits N]
-//	                             [-json] [-par N]
+//	                             [-set Field=value]... [-checkpoint FILE]
+//	                             [-json|-long] [-par N]
 //	metaleak trace jpeg|rsa      [-csv] [-bin FILE]
-//	metaleak trace replay FILE   [-csv]
+//	metaleak trace replay FILE   [-csv] [-bin OUT]
 //
 // Flags may be interleaved with positional arguments (`run fig6 -par 4`
 // works). -par bounds how many trials run concurrently; results are
 // byte-identical for every value, including 1 (the historic sequential
-// behaviour). Experiment IDs follow the paper: table1, fig6, fig7, fig8,
+// behaviour). sweep's -checkpoint persists each completed cell to FILE
+// (atomic rename) and a rerun with the same axes resumes from it; -set
+// overrides any DesignPoint field per cell; -long emits one
+// (cell, metric, value) CSV row per measurement. Experiment IDs follow the paper: table1, fig6, fig7, fig8,
 // fig11, fig12, fig14, fig15, fig15c, fig16, fig17, fig18; the
 // design-space ablations ablctr, abltree, ablmeta, ablminor, ablnoise,
 // ablsec; and the §IX defence evaluations defiso, defrand, defladder.
@@ -25,6 +29,7 @@ import (
 	"context"
 	"encoding/csv"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -172,6 +177,16 @@ func reportCmd(ctx context.Context, args []string) error {
 	return nil
 }
 
+// multiFlag collects a repeatable string flag (-set A=1 -set B=2).
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
 // listFlag parses a comma-separated list of unsigned integers.
 func listFlag(s string) ([]uint64, error) {
 	var out []uint64
@@ -199,9 +214,16 @@ func sweepCmd(ctx context.Context, args []string) error {
 	seed := fs.Uint64("seed", 0, "base seed")
 	bits := fs.Int("bits", 120, "covert transmission length per cell")
 	asJSON := fs.Bool("json", false, "emit rows and aggregates as JSON (default CSV)")
+	long := fs.Bool("long", false, "emit long-format CSV: one (cell, metric, value) row per measurement")
 	par := fs.Int("par", 0, "max cells in flight (0 = GOMAXPROCS)")
+	checkpoint := fs.String("checkpoint", "", "persist completed cells to FILE and resume from it on rerun")
+	var sets multiFlag
+	fs.Var(&sets, "set", "DesignPoint field override Field=value (repeatable, e.g. -set FastCrypto=true)")
 	if _, err := parseInterleaved(fs, args); err != nil {
 		return err
+	}
+	if *asJSON && *long {
+		return fmt.Errorf("sweep: -long is a CSV shape; drop -json (its rows are already structured)")
 	}
 	axes := experiments.SweepAxes{Seeds: *seeds, Seed: *seed, Bits: *bits}
 	for _, c := range strings.Split(*configs, ",") {
@@ -233,12 +255,94 @@ func sweepCmd(ctx context.Context, args []string) error {
 	if len(axes.Configs) == 0 || len(axes.MinorBits) == 0 || len(axes.MetaKB) == 0 || len(axes.Noise) == 0 {
 		return fmt.Errorf("sweep: every axis needs at least one value")
 	}
-	rows, err := experiments.Sweep(ctx, axes, *par)
-	if err != nil {
+	if err := applySetFlags(&axes, sets, explicitFlags(fs)); err != nil {
 		return err
 	}
+
+	rows, err := experiments.SweepCheckpointed(ctx, axes, *par, *checkpoint)
+	if err != nil {
+		if (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) && len(rows) > 0 {
+			// Interrupted mid-grid: report the completed rows before
+			// surfacing the cancellation.
+			if emitErr := emitSweep(axes, rows, *asJSON, *long); emitErr != nil {
+				return emitErr
+			}
+			total := len(axes.Cells())
+			if *checkpoint != "" {
+				fmt.Fprintf(os.Stderr, "# sweep interrupted: %d/%d cells done, checkpointed to %s; rerun the same command to resume\n",
+					len(rows), total, *checkpoint)
+			} else {
+				fmt.Fprintf(os.Stderr, "# sweep interrupted: %d/%d cells done (no -checkpoint: a rerun starts over)\n",
+					len(rows), total)
+			}
+		}
+		return err
+	}
+	return emitSweep(axes, rows, *asJSON, *long)
+}
+
+// explicitFlags returns the set of flags the user passed on the command
+// line (as opposed to defaults).
+func explicitFlags(fs *flag.FlagSet) map[string]bool {
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	return explicit
+}
+
+// applySetFlags folds -set overrides into the axes. Fields the sweep
+// grid owns as axes (MinorBits, MetaKB, NoiseInterval) are remapped
+// onto the axis itself — so `-set MinorBits=6` is exactly `-minor 6`,
+// labels, seeds and all — and conflict with an explicit axis flag
+// rather than silently losing to it. Everything else passes through to
+// the per-cell design-point overrides.
+func applySetFlags(axes *experiments.SweepAxes, sets []string, explicit map[string]bool) error {
+	for _, s := range sets {
+		ov, err := machine.ParseOverride(s)
+		if err != nil {
+			return fmt.Errorf("sweep: -set: %w", err)
+		}
+		switch ov.Field {
+		case "MinorBits":
+			if explicit["minor"] {
+				return fmt.Errorf("sweep: -set MinorBits conflicts with -minor; the minor width is a grid axis, set it once")
+			}
+			v, err := strconv.ParseUint(ov.Value, 10, 0)
+			if err != nil {
+				return fmt.Errorf("sweep: -set %s: %w", s, err)
+			}
+			axes.MinorBits = []uint{uint(v)}
+		case "MetaKB":
+			if explicit["meta"] {
+				return fmt.Errorf("sweep: -set MetaKB conflicts with -meta; the metadata size is a grid axis, set it once")
+			}
+			v, err := strconv.Atoi(ov.Value)
+			if err != nil {
+				return fmt.Errorf("sweep: -set %s: %w", s, err)
+			}
+			axes.MetaKB = []int{v}
+		case "NoiseInterval":
+			if explicit["noise"] {
+				return fmt.Errorf("sweep: -set NoiseInterval conflicts with -noise; the noise interval is a grid axis, set it once")
+			}
+			v, err := strconv.ParseUint(ov.Value, 10, 64)
+			if err != nil {
+				return fmt.Errorf("sweep: -set %s: %w", s, err)
+			}
+			axes.Noise = []arch.Cycles{arch.Cycles(v)}
+		case "Seed":
+			return fmt.Errorf("sweep: set the base seed with -seed (per-cell machine seeds are derived from it)")
+		default:
+			axes.Set = append(axes.Set, s)
+		}
+	}
+	return nil
+}
+
+// emitSweep renders rows (wide CSV, long CSV, or JSON) on stdout and
+// the per-point aggregates on stderr.
+func emitSweep(axes experiments.SweepAxes, rows []experiments.SweepRow, asJSON, long bool) error {
 	points := axes.Aggregate(rows)
-	if *asJSON {
+	if asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(struct {
@@ -247,10 +351,22 @@ func sweepCmd(ctx context.Context, args []string) error {
 		}{rows, points})
 	}
 	w := csv.NewWriter(os.Stdout)
-	if err := w.Write(experiments.CSVHeader()); err != nil {
+	header := experiments.CSVHeader()
+	if long {
+		header = experiments.LongHeader()
+	}
+	if err := w.Write(header); err != nil {
 		return err
 	}
 	for _, r := range rows {
+		if long {
+			for _, rec := range r.LongRecords() {
+				if err := w.Write(rec); err != nil {
+					return err
+				}
+			}
+			continue
+		}
 		if err := w.Write(r.CSVRecord()); err != nil {
 			return err
 		}
@@ -260,8 +376,8 @@ func sweepCmd(ctx context.Context, args []string) error {
 		return err
 	}
 	for _, p := range points {
-		fmt.Fprintf(os.Stderr, "# %s minor=%d meta=%dKiB noise=%d: covert %.3f±%.3f monitor %.3f±%.3f (n=%d, %d failed)\n",
-			p.Config, p.MinorBits, p.MetaKB, p.Noise,
+		fmt.Fprintf(os.Stderr, "# %s minor=%s meta=%dKiB noise=%d: covert %.3f±%.3f monitor %.3f±%.3f (n=%d, %d failed)\n",
+			p.Config, p.MinorLabel(), p.MetaKB, p.Noise,
 			p.Covert.Mean, p.Covert.Std(), p.Monitor.Mean, p.Monitor.Std(), p.Covert.N, p.Errs)
 	}
 	return nil
@@ -279,7 +395,7 @@ func traceCmd(args []string) error {
 		if len(pos) != 2 {
 			return fmt.Errorf("trace replay: need a trace file")
 		}
-		return runReplay(pos[1], *csvOut)
+		return runReplay(pos[1], *csvOut, *binFile)
 	}
 	if len(pos) != 1 {
 		return fmt.Errorf("trace: need a victim (jpeg or rsa) or 'replay FILE'")
@@ -332,7 +448,10 @@ func runTrace(kind string, csvOut bool, binFile string) error {
 
 // runReplay loads a binary MLT1 trace and re-renders its summary — the
 // archived trace is re-analyzable without re-running the simulation.
-func runReplay(file string, csvOut bool) error {
+// With -bin OUT the normalized trace (decoded, oldest-first, re-delta-
+// encoded) is written back out, so a replay can also canonicalize a
+// foreign or hand-edited trace file.
+func runReplay(file string, csvOut bool, binFile string) error {
 	data, err := os.ReadFile(file)
 	if err != nil {
 		return err
@@ -342,6 +461,16 @@ func runReplay(file string, csvOut bool) error {
 		return fmt.Errorf("trace replay %s: %w", file, err)
 	}
 	fmt.Print(rec.Summary())
+	if binFile != "" {
+		out, err := rec.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(binFile, out, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d events (%d bytes) to %s\n", len(rec.Events()), len(out), binFile)
+	}
 	if csvOut {
 		return rec.WriteCSV(os.Stdout)
 	}
@@ -353,7 +482,8 @@ func usage() {
        metaleak run <id>...|all [-full] [-seed N] [-json] [-par N]
        metaleak report [-full] [-seed N] [-par N]
        metaleak sweep [-configs sct,ht,sgx] [-minor 6,7] [-meta 64,256] [-noise 0,8000]
-                      [-seeds N] [-seed N] [-bits N] [-json] [-par N]
+                      [-seeds N] [-seed N] [-bits N] [-set Field=value]...
+                      [-checkpoint FILE] [-json|-long] [-par N]
        metaleak trace jpeg|rsa [-csv] [-bin FILE]
-       metaleak trace replay FILE [-csv]`)
+       metaleak trace replay FILE [-csv] [-bin OUT]`)
 }

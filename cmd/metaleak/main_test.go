@@ -164,6 +164,194 @@ func TestTraceBinaryRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSweepSetMatchesAxisFlag pins the acceptance contract: an
+// axis-backed field override is remapped onto the axis, so
+// `-set MinorBits=6` emits byte-identical output to `-minor 6`.
+func TestSweepSetMatchesAxisFlag(t *testing.T) {
+	base := []string{"sweep", "-configs", "sct", "-seeds", "1", "-bits", "20"}
+	viaAxis, err := capture(t, func() error {
+		return run(context.Background(), append(append([]string{}, base...), "-minor", "6"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaSet, err := capture(t, func() error {
+		return run(context.Background(), append(append([]string{}, base...), "-set", "MinorBits=6"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaAxis != viaSet {
+		t.Fatalf("-set MinorBits=6 differs from -minor 6:\n--- minor ---\n%s--- set ---\n%s", viaAxis, viaSet)
+	}
+	if !strings.Contains(viaSet, "sct,6,") {
+		t.Fatalf("override not reflected in the rows:\n%s", viaSet)
+	}
+}
+
+// TestSweepSetErrors covers the -set failure modes: conflicts with an
+// explicit axis flag, the reserved Seed field, unknown fields, and
+// malformed overrides.
+func TestSweepSetErrors(t *testing.T) {
+	ctx := context.Background()
+	for _, args := range [][]string{
+		{"sweep", "-minor", "6", "-set", "MinorBits=7"},
+		{"sweep", "-meta", "64", "-set", "MetaKB=128"},
+		{"sweep", "-noise", "100", "-set", "NoiseInterval=200"},
+		{"sweep", "-set", "Seed=4"},
+		{"sweep", "-set", "NoSuchField=1", "-seeds", "1", "-bits", "20"},
+		{"sweep", "-set", "broken"},
+		{"sweep", "-json", "-long"},
+	} {
+		if err := run(ctx, args); err == nil {
+			t.Fatalf("%v accepted", args)
+		}
+	}
+}
+
+// TestSweepRejectsSilentAxisValues: -minor 0 used to run the 7-bit
+// default machine labeled as width 0; it must be rejected.
+func TestSweepRejectsSilentAxisValues(t *testing.T) {
+	ctx := context.Background()
+	if err := run(ctx, []string{"sweep", "-minor", "0"}); err == nil {
+		t.Fatal("sweep -minor 0 accepted")
+	}
+	if err := run(ctx, []string{"sweep", "-meta", "0"}); err == nil {
+		t.Fatal("sweep -meta 0 accepted")
+	}
+}
+
+// TestSweepSGXMinorNA: the sgx design point ignores the minor width, so
+// a sgx × minor grid collapses to one row per point, labeled na.
+func TestSweepSGXMinorNA(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run(context.Background(), []string{
+			"sweep", "-configs", "sgx", "-minor", "6,7", "-seeds", "1", "-bits", "20"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want header + 1 collapsed row, got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "sgx,na,") {
+		t.Fatalf("sgx row not marked na:\n%s", out)
+	}
+}
+
+// TestSweepLongFormat checks -long: one (cell, metric, value) row per
+// measurement.
+func TestSweepLongFormat(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run(context.Background(), []string{
+			"sweep", "-configs", "sct", "-seeds", "1", "-bits", "20", "-long"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "config,minor_bits,meta_kb,noise,rep,seed,metric,value" {
+		t.Fatalf("long header:\n%s", out)
+	}
+	if len(lines) != 4 {
+		t.Fatalf("want header + 3 metric rows, got %d lines:\n%s", len(lines), out)
+	}
+	for i, metric := range []string{"covert_accuracy", "cycles_per_bit", "monitor_accuracy"} {
+		if !strings.Contains(lines[i+1], ","+metric+",") {
+			t.Fatalf("line %d missing metric %s:\n%s", i+1, metric, out)
+		}
+	}
+}
+
+// TestSweepCheckpointResume drives the CLI's durability path: a
+// checkpointed run, a resume from a truncated checkpoint (the exact
+// file state a kill mid-grid leaves behind, thanks to the atomic
+// per-cell rewrites), and a fingerprint mismatch.
+func TestSweepCheckpointResume(t *testing.T) {
+	cp := filepath.Join(t.TempDir(), "cp.jsonl")
+	args := []string{"sweep", "-configs", "sct", "-minor", "6,7", "-seeds", "2", "-bits", "20"}
+	withCp := append(append([]string{}, args...), "-checkpoint", cp)
+
+	full, err := capture(t, func() error { return run(context.Background(), args) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkpointed, err := capture(t, func() error { return run(context.Background(), withCp) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checkpointed != full {
+		t.Fatalf("checkpointed output differs from plain run:\n--- plain ---\n%s--- checkpointed ---\n%s", full, checkpointed)
+	}
+
+	// Truncate the checkpoint to header + 2 completed cells — the state
+	// after an interruption — and resume at two worker counts.
+	data, err := os.ReadFile(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("checkpoint too short to truncate:\n%s", data)
+	}
+	for _, par := range []string{"1", "4"} {
+		if err := os.WriteFile(cp, []byte(strings.Join(lines[:3], "")), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		resumed, err := capture(t, func() error {
+			return run(context.Background(), append(append([]string{}, withCp...), "-par", par))
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resumed != full {
+			t.Fatalf("-par %s resume differs from uninterrupted run:\n--- full ---\n%s--- resumed ---\n%s", par, full, resumed)
+		}
+	}
+
+	// A different seed is a different sweep: the checkpoint must refuse.
+	err = run(context.Background(), append(append([]string{}, withCp...), "-seed", "99"))
+	if err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Fatalf("mismatched checkpoint accepted: %v", err)
+	}
+}
+
+// TestReplayBinReEmits: `trace replay FILE -bin OUT` re-emits the
+// normalized trace instead of silently ignoring -bin.
+func TestReplayBinReEmits(t *testing.T) {
+	dir := t.TempDir()
+	orig := filepath.Join(dir, "orig.mlt1")
+	reemit := filepath.Join(dir, "reemit.mlt1")
+	if _, err := capture(t, func() error {
+		return run(context.Background(), []string{"trace", "rsa", "-bin", orig})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error {
+		return run(context.Background(), []string{"trace", "replay", orig, "-bin", reemit})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "wrote ") {
+		t.Fatalf("no re-emit confirmation:\n%s", out)
+	}
+	a, err := os.ReadFile(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(reemit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The original was already normalized (oldest-first), so the
+	// re-emitted encoding round-trips byte-identically.
+	if string(a) != string(b) {
+		t.Fatalf("re-emitted trace differs: %d vs %d bytes", len(a), len(b))
+	}
+}
+
 // TestSweepCommand runs a tiny grid and checks the CSV shape and that a
 // broken cell reports in its row instead of aborting the sweep.
 func TestSweepCommand(t *testing.T) {

@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"sort"
+	"sync"
+)
+
+// The checkpoint layer makes long sweeps restartable. A checkpoint file
+// is JSONL: a header line naming the format and the sweep's fingerprint,
+// then one completed SweepRow per line in cell-index order. Every append
+// rewrites the whole file to a sibling .tmp and renames it over the
+// checkpoint — the file on disk is always a complete, parseable
+// prefix-of-the-grid state, no matter where a SIGKILL lands. Grids are
+// a few thousand cells at most and each cell simulates millions of
+// cycles, so the rewrite cost is noise next to the work it protects.
+//
+// The fingerprint ties a checkpoint to the exact grid that wrote it:
+// the hash covers every expanded cell (config, axis labels, rep, and the
+// cell's derived machine seed), the per-cell bit budget, and the
+// design-point overrides. Resuming with any other axes fails loudly
+// instead of silently merging rows from unrelated grids.
+
+// checkpointFormat identifies the file layout; bump on changes.
+const checkpointFormat = "metaleak-sweep-checkpoint/v1"
+
+type checkpointHeader struct {
+	Format      string
+	Fingerprint string
+	Cells       int
+}
+
+// normalized applies the defaults Sweep applies, so fingerprints agree
+// with what actually runs.
+func (a SweepAxes) normalized() SweepAxes {
+	if a.Bits <= 0 {
+		a.Bits = DefaultSweepAxes().Bits
+	}
+	if a.Seeds <= 0 {
+		a.Seeds = 1
+	}
+	return a
+}
+
+// Fingerprint identifies the sweep for checkpoint compatibility: a hash
+// of the expanded cell list (axis labels, reps, and derived per-cell
+// seeds — so the base seed is covered transitively), the per-cell bit
+// budget, and the design-point overrides.
+func (a SweepAxes) Fingerprint() string {
+	a = a.normalized()
+	h := sha256.New()
+	fmt.Fprintf(h, "v1 seed=%d bits=%d set=%q\n", a.Seed, a.Bits, a.Set)
+	for _, c := range a.Cells() {
+		fmt.Fprintf(h, "%d %s %s %d %d %d %d\n",
+			c.Index, c.Config, c.MinorLabel(), c.MetaKB, c.Noise, c.Rep, c.Seed)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Checkpoint is the durable record of a sweep in progress: completed
+// rows keyed by cell index, flushed to disk on every append.
+type Checkpoint struct {
+	path   string
+	header checkpointHeader
+	cells  []SweepCell
+
+	mu   sync.Mutex
+	rows map[int]SweepRow
+	err  error // first persistence failure; appends stop after it
+}
+
+// OpenCheckpoint opens (or starts) the checkpoint for a sweep. A
+// missing file begins an empty checkpoint; an existing one must carry
+// the axes' fingerprint and well-formed rows belonging to the grid, or
+// the open fails — a checkpoint from a different sweep is never merged.
+func OpenCheckpoint(path string, axes SweepAxes) (*Checkpoint, error) {
+	axes = axes.normalized()
+	cells := axes.Cells()
+	cp := &Checkpoint{
+		path: path,
+		header: checkpointHeader{
+			Format:      checkpointFormat,
+			Fingerprint: axes.Fingerprint(),
+			Cells:       len(cells),
+		},
+		cells: cells,
+		rows:  map[int]SweepRow{},
+	}
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return cp, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(nil, 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("checkpoint %s: empty file (expected a %s header)", path, checkpointFormat)
+	}
+	var hdr checkpointHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil || hdr.Format != checkpointFormat {
+		return nil, fmt.Errorf("checkpoint %s: not a %s file", path, checkpointFormat)
+	}
+	if hdr.Fingerprint != cp.header.Fingerprint {
+		return nil, fmt.Errorf("checkpoint %s: fingerprint %.12s… does not match this sweep's %.12s… — "+
+			"it was written by different axes (configs, widths, sizes, noise, seeds, bits, or -set overrides); "+
+			"rerun with the original arguments or remove the file", path, hdr.Fingerprint, cp.header.Fingerprint)
+	}
+	for line := 2; sc.Scan(); line++ {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var row SweepRow
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			return nil, fmt.Errorf("checkpoint %s: line %d: %w", path, line, err)
+		}
+		if row.Index < 0 || row.Index >= len(cells) {
+			return nil, fmt.Errorf("checkpoint %s: line %d: cell index %d outside the %d-cell grid",
+				path, line, row.Index, len(cells))
+		}
+		if row.SweepCell != cells[row.Index] {
+			return nil, fmt.Errorf("checkpoint %s: line %d: cell %d does not match the grid (file %+v, grid %+v)",
+				path, line, row.Index, row.SweepCell, cells[row.Index])
+		}
+		cp.rows[row.Index] = row
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	return cp, nil
+}
+
+// Completed returns the checkpointed rows that finished without error,
+// keyed by cell index. Failed rows are deliberately excluded: resume
+// re-runs them — a deterministic failure reproduces the identical row,
+// and a transient one (a since-fixed config, a freed resource) gets its
+// retry.
+func (c *Checkpoint) Completed() map[int]SweepRow {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[int]SweepRow, len(c.rows))
+	for i, r := range c.rows {
+		if r.Err == "" {
+			out[i] = r
+		}
+	}
+	return out
+}
+
+// Append records a settled row and flushes the file atomically. Safe
+// for concurrent use; after the first persistence failure further
+// appends are dropped and Err reports the failure.
+func (c *Checkpoint) Append(row SweepRow) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return
+	}
+	c.rows[row.Index] = row
+	c.err = c.flushLocked()
+}
+
+// Err returns the first persistence failure, if any.
+func (c *Checkpoint) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// flushLocked rewrites the whole checkpoint to path.tmp and renames it
+// over path: the visible file atomically moves between valid states.
+func (c *Checkpoint) flushLocked() error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(c.header); err != nil {
+		return err
+	}
+	idx := make([]int, 0, len(c.rows))
+	for i := range c.rows {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	for _, i := range idx {
+		if err := enc.Encode(c.rows[i]); err != nil {
+			return err
+		}
+	}
+	tmp := c.path + ".tmp"
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("checkpoint %s: %w", c.path, err)
+	}
+	if err := os.Rename(tmp, c.path); err != nil {
+		return fmt.Errorf("checkpoint %s: %w", c.path, err)
+	}
+	return nil
+}

@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestFingerprintCoversSweepIdentity(t *testing.T) {
+	base := tinyAxes()
+	fp := base.Fingerprint()
+	if fp != base.Fingerprint() {
+		t.Fatal("fingerprint is not stable")
+	}
+	perturb := []func(*SweepAxes){
+		func(a *SweepAxes) { a.Seed++ },
+		func(a *SweepAxes) { a.Bits++ },
+		func(a *SweepAxes) { a.Seeds++ },
+		func(a *SweepAxes) { a.MinorBits = []uint{5, 7} },
+		func(a *SweepAxes) { a.Configs = []string{"ht"} },
+		func(a *SweepAxes) { a.Set = []string{"FastCrypto=true"} },
+	}
+	for i, f := range perturb {
+		a := tinyAxes()
+		f(&a)
+		if a.Fingerprint() == fp {
+			t.Fatalf("perturbation %d does not change the fingerprint", i)
+		}
+	}
+}
+
+// TestResumeByteIdentical is the acceptance property: a sweep
+// interrupted mid-grid and resumed from its checkpoint produces output
+// identical to an uninterrupted run, for more than one worker count.
+// The interrupted state is constructed exactly as a killed run leaves
+// it: a checkpoint holding the first k completed rows.
+func TestResumeByteIdentical(t *testing.T) {
+	axes := tinyAxes()
+	want, err := Sweep(context.Background(), axes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		for _, k := range []int{0, 1, len(want)} {
+			path := filepath.Join(t.TempDir(), "cp.jsonl")
+			cp, err := OpenCheckpoint(path, axes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, row := range want[:k] {
+				cp.Append(row)
+			}
+			if err := cp.Err(); err != nil {
+				t.Fatal(err)
+			}
+			got, err := SweepCheckpointed(context.Background(), axes, workers, path)
+			if err != nil {
+				t.Fatalf("workers=%d k=%d: %v", workers, k, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("workers=%d k=%d: resumed rows differ:\n got %+v\nwant %+v", workers, k, got, want)
+			}
+			// The persisted file itself must round-trip: a second resume
+			// runs nothing and still reproduces the grid.
+			again, err := SweepCheckpointed(context.Background(), axes, workers, path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(again, want) {
+				t.Fatalf("workers=%d k=%d: second resume differs", workers, k)
+			}
+		}
+	}
+}
+
+// TestResumeReRunsFailedCells: failed rows in a checkpoint are retried
+// on resume; a deterministic failure reproduces the identical row.
+func TestResumeReRunsFailedCells(t *testing.T) {
+	axes := tinyAxes()
+	axes.Configs = []string{"sct", "bogus"}
+	axes.MinorBits = []uint{7}
+	axes.Seeds = 1
+	want, err := Sweep(context.Background(), axes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want[1].Err == "" {
+		t.Fatal("fixture lost its failing cell")
+	}
+	path := filepath.Join(t.TempDir(), "cp.jsonl")
+	cp, err := OpenCheckpoint(path, axes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.Append(want[1]) // only the failed row is checkpointed
+	got, err := SweepCheckpointed(context.Background(), axes, 2, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("resume with a failed row differs:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestCheckpointFingerprintMismatchFailsLoudly(t *testing.T) {
+	axes := tinyAxes()
+	path := filepath.Join(t.TempDir(), "cp.jsonl")
+	if _, err := SweepCheckpointed(context.Background(), axes, 2, path); err != nil {
+		t.Fatal(err)
+	}
+	other := tinyAxes()
+	other.Seed++
+	_, err := SweepCheckpointed(context.Background(), other, 2, path)
+	if err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Fatalf("mismatched checkpoint accepted: %v", err)
+	}
+}
+
+func TestCheckpointRejectsCorruptFiles(t *testing.T) {
+	axes := tinyAxes()
+	dir := t.TempDir()
+	for name, content := range map[string]string{
+		"garbage.jsonl": "not json at all\n",
+		"empty.jsonl":   "",
+	} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenCheckpoint(path, axes); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+
+	// A row whose cell does not belong to the grid is rejected even
+	// under a matching header.
+	path := filepath.Join(dir, "tampered.jsonl")
+	cp, err := OpenCheckpoint(path, axes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Sweep(context.Background(), axes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := rows[0]
+	row.Seed++ // no longer the grid's cell
+	cp.Append(row)
+	if _, err := OpenCheckpoint(path, axes); err == nil {
+		t.Fatal("tampered cell accepted")
+	}
+}
+
+// TestCancelledSweepReportsCompletedRows pins the satellite fix: a
+// cancelled context no longer discards completed rows. With every cell
+// but one checkpointed and the context already cancelled, the sweep
+// returns the completed rows alongside the cancellation error.
+func TestCancelledSweepReportsCompletedRows(t *testing.T) {
+	axes := tinyAxes()
+	want, err := Sweep(context.Background(), axes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cp.jsonl")
+	cp, err := OpenCheckpoint(path, axes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range want[:len(want)-1] {
+		cp.Append(row)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rows, err := SweepCheckpointed(ctx, axes, 2, path)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !reflect.DeepEqual(rows, want[:len(want)-1]) {
+		t.Fatalf("cancelled sweep dropped completed rows:\n got %+v\nwant %+v", rows, want[:len(want)-1])
+	}
+
+	// Without a checkpoint, a cancelled-before-start sweep reports no
+	// rows but still distinguishes cancellation from cell failure.
+	rows, err = Sweep(ctx, axes, 2)
+	if !errors.Is(err, context.Canceled) || len(rows) != 0 {
+		t.Fatalf("fresh cancelled sweep: rows=%d err=%v", len(rows), err)
+	}
+}

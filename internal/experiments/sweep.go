@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 
@@ -33,6 +34,13 @@ type SweepAxes struct {
 	Seeds     int           // replications per grid point
 	Seed      uint64        // base seed
 	Bits      int           // covert transmission length per cell
+
+	// Set holds "Field=value" DesignPoint overrides applied to every
+	// cell's base design point before the axis fields — so the axes win
+	// on MinorBits/MetaKB/NoiseInterval (override those through the axis
+	// itself; the CLI's -set remaps them automatically). Overrides are
+	// part of the sweep's identity: they feed the checkpoint fingerprint.
+	Set []string
 }
 
 // DefaultSweepAxes returns a single-cell grid at the paper's SCT design
@@ -57,6 +65,21 @@ type SweepCell struct {
 	Noise     arch.Cycles
 	Rep       int
 	Seed      uint64 // derived machine seed for this cell
+	// MinorNA marks a cell whose design point ignores MinorBits (e.g.
+	// sgx: MoC counters + SIT's hardwired 56-bit counters). The minor
+	// axis is collapsed to one such cell per (config, meta, noise, rep)
+	// and rendered "na", so the grid never reports minor-width variation
+	// that no machine actually had.
+	MinorNA bool `json:",omitempty"`
+}
+
+// MinorLabel renders the cell's minor-width axis value; "na" when the
+// design point ignores it.
+func (c SweepCell) MinorLabel() string {
+	if c.MinorNA {
+		return "na"
+	}
+	return fmt.Sprintf("%d", c.MinorBits)
 }
 
 // SweepRow is one cell's measurements. Err is non-empty when the cell
@@ -79,7 +102,7 @@ func CSVHeader() []string {
 func (r SweepRow) CSVRecord() []string {
 	return []string{
 		r.Config,
-		fmt.Sprintf("%d", r.MinorBits),
+		r.MinorLabel(),
 		fmt.Sprintf("%d", r.MetaKB),
 		fmt.Sprintf("%d", r.Noise),
 		fmt.Sprintf("%d", r.Rep),
@@ -91,12 +114,84 @@ func (r SweepRow) CSVRecord() []string {
 	}
 }
 
+// LongHeader returns the column names of LongRecords — the long/tidy
+// output format: one (cell, metric, value) record per measurement,
+// ready for a plotting library's group-by without any reshaping.
+func LongHeader() []string {
+	return []string{"config", "minor_bits", "meta_kb", "noise", "rep", "seed", "metric", "value"}
+}
+
+// LongRecords renders the row in long format: one record per metric; a
+// failed cell yields a single "err" record carrying the message.
+func (r SweepRow) LongRecords() [][]string {
+	key := []string{
+		r.Config,
+		r.MinorLabel(),
+		fmt.Sprintf("%d", r.MetaKB),
+		fmt.Sprintf("%d", r.Noise),
+		fmt.Sprintf("%d", r.Rep),
+		fmt.Sprintf("%d", r.Seed),
+	}
+	mk := func(metric, value string) []string {
+		return append(append(make([]string, 0, len(key)+2), key...), metric, value)
+	}
+	if r.Err != "" {
+		return [][]string{mk("err", r.Err)}
+	}
+	return [][]string{
+		mk("covert_accuracy", fmt.Sprintf("%.4f", r.CovertAccuracy)),
+		mk("cycles_per_bit", fmt.Sprintf("%.1f", r.CyclesPerBit)),
+		mk("monitor_accuracy", fmt.Sprintf("%.4f", r.MonitorAccuracy)),
+	}
+}
+
+// Validate rejects axis values the machine builder would silently
+// normalize to a different design point: minor width 0 (ctr.NewSC and
+// buildTree both remap it to the 7-bit Table I default) and
+// non-positive metadata cache sizes (NewSystem remaps to 256 KiB).
+// Without this check the grid emits rows labeled as axis variation that
+// ran byte-identical machines.
+func (a SweepAxes) Validate() error {
+	for _, m := range a.MinorBits {
+		if m == 0 {
+			return fmt.Errorf("sweep: minor width 0 would be silently normalized to the 7-bit default; pass an explicit width in 1..16")
+		}
+		if m > 16 {
+			return fmt.Errorf("sweep: minor width %d exceeds the 16-bit minor counter storage", m)
+		}
+	}
+	for _, kb := range a.MetaKB {
+		if kb <= 0 {
+			return fmt.Errorf("sweep: metadata cache size %d KiB would be silently normalized to the 256 KiB default; pass a positive size", kb)
+		}
+	}
+	return nil
+}
+
 // Cells expands the grid in deterministic nested order (configs
-// outermost, reps innermost).
+// outermost, reps innermost). For a config whose resolved design point
+// ignores MinorBits the minor axis is collapsed to a single MinorNA
+// cell — expanding it would produce rows labeled as different minor
+// widths that ran identical machines.
 func (a SweepAxes) Cells() []SweepCell {
+	// Best-effort parse here: Sweep validates overrides up front;
+	// unknown configs stay fully expanded and fail per cell, in-row.
+	ovs, _ := machine.ParseOverrides(a.Set)
 	var cells []SweepCell
 	for ci, cfg := range a.Configs {
+		minorNA := false
+		if base, _, err := sweepConfig(cfg); err == nil {
+			if machine.ApplyOverrides(&base, ovs) == nil {
+				minorNA = !base.UsesMinorBits()
+			}
+		}
 		for mi, minor := range a.MinorBits {
+			if minorNA {
+				if mi > 0 {
+					continue
+				}
+				minor = 0
+			}
 			for ki, kb := range a.MetaKB {
 				for ni, noise := range a.Noise {
 					for rep := 0; rep < a.Seeds; rep++ {
@@ -107,6 +202,7 @@ func (a SweepAxes) Cells() []SweepCell {
 							MetaKB:    kb,
 							Noise:     noise,
 							Rep:       rep,
+							MinorNA:   minorNA,
 							Seed: arch.NewRNG(a.Seed,
 								uint64(ci), uint64(mi), uint64(ki), uint64(ni), uint64(rep)).Uint64(),
 						})
@@ -135,17 +231,23 @@ func sweepConfig(name string) (machine.DesignPoint, int, error) {
 
 // runSweepCell measures one cell: the MetaLeak-T covert channel's bit
 // accuracy and cost, and the single-node monitor's classification
-// accuracy, each on its own machine seeded from the cell.
-func runSweepCell(c SweepCell, bits int) (SweepRow, error) {
+// accuracy, each on its own machine seeded from the cell. Overrides
+// apply before the axis fields, so the axes win on the fields they own.
+func runSweepCell(c SweepCell, bits int, ovs []machine.FieldOverride) (SweepRow, error) {
 	row := SweepRow{SweepCell: c}
 	base, level, err := sweepConfig(c.Config)
 	if err != nil {
 		return row, err
 	}
-	base.MinorBits = c.MinorBits
+	if err := machine.ApplyOverrides(&base, ovs); err != nil {
+		return row, err
+	}
+	if !c.MinorNA {
+		base.MinorBits = c.MinorBits
+	}
 	base.MetaKB = c.MetaKB
 	base.NoiseInterval = c.Noise
-	if c.Noise > 0 {
+	if c.Noise > 0 && base.NoisePages == 0 {
 		base.NoisePages = 1024
 	}
 
@@ -196,40 +298,123 @@ func runSweepCell(c SweepCell, bits int) (SweepRow, error) {
 
 // Sweep runs the whole grid with at most `workers` cells in flight and
 // returns one row per cell in grid order. Cell failures land in the
-// rows' Err fields; only a cancelled context aborts the sweep.
+// rows' Err fields. Cancellation mid-grid returns the rows of every
+// cell that did complete (still in grid order) alongside the context's
+// error — Ctrl-C near the end of a long sweep reports the finished
+// work instead of discarding it.
 func Sweep(ctx context.Context, axes SweepAxes, workers int) ([]SweepRow, error) {
-	if axes.Bits <= 0 {
-		axes.Bits = DefaultSweepAxes().Bits
+	return SweepCheckpointed(ctx, axes, workers, "")
+}
+
+// SweepCheckpointed is Sweep with durability: when checkpoint names a
+// file, every completed row is persisted there as it finishes (atomic
+// write-and-rename, so an interrupted sweep leaves a valid file), and a
+// rerun with the same axes loads the file, skips the cells it already
+// holds, re-runs only missing or failed ones, and returns the merged
+// grid-order rows — byte-identical to an uninterrupted run. A
+// checkpoint written by different axes (detected by fingerprint) fails
+// loudly instead of merging unrelated grids.
+func SweepCheckpointed(ctx context.Context, axes SweepAxes, workers int, checkpoint string) ([]SweepRow, error) {
+	axes = axes.normalized()
+	if err := axes.Validate(); err != nil {
+		return nil, err
 	}
-	if axes.Seeds <= 0 {
-		axes.Seeds = 1
+	ovs, err := machine.ParseOverrides(axes.Set)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
+	// Vet the overrides against a scratch design point up front, so a
+	// field typo fails the sweep once instead of failing every cell.
+	scratch := machine.ConfigSCT()
+	if err := machine.ApplyOverrides(&scratch, ovs); err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
 	}
 	cells := axes.Cells()
-	trials := make([]runner.Trial, len(cells))
-	for i, c := range cells {
-		c := c
-		trials[i] = func() (any, error) { return runSweepCell(c, axes.Bits) }
+
+	done := map[int]SweepRow{}
+	var cp *Checkpoint
+	if checkpoint != "" {
+		cp, err = OpenCheckpoint(checkpoint, axes)
+		if err != nil {
+			return nil, err
+		}
+		done = cp.Completed()
 	}
-	parts, errs := runner.RunAll(ctx, trials, workers)
-	rows := make([]SweepRow, len(cells))
+
+	pending := make([]int, 0, len(cells)-len(done))
 	for i := range cells {
-		switch {
-		case errs[i] != nil:
-			if ctx.Err() != nil {
-				return nil, ctx.Err()
-			}
-			rows[i] = SweepRow{SweepCell: cells[i], Err: errs[i].Error()}
-		default:
-			rows[i] = parts[i].(SweepRow)
+		if _, ok := done[i]; !ok {
+			pending = append(pending, i)
 		}
 	}
+	trials := make([]runner.Trial, len(pending))
+	for ti, i := range pending {
+		c := cells[i]
+		trials[ti] = func() (any, error) { return runSweepCell(c, axes.Bits, ovs) }
+	}
+	var onDone func(int, any, error)
+	if cp != nil {
+		onDone = func(ti int, res any, err error) {
+			if row, ok := settledRow(cells[pending[ti]], res, err); ok {
+				cp.Append(row)
+			}
+		}
+	}
+	parts, errs := runner.RunAllFunc(ctx, trials, workers, onDone)
+
+	rows := make([]SweepRow, 0, len(cells))
+	interrupted := false
+	ti := 0
+	for i := range cells {
+		if row, ok := done[i]; ok {
+			rows = append(rows, row)
+			continue
+		}
+		row, ok := settledRow(cells[i], parts[ti], errs[ti])
+		ti++
+		if !ok {
+			interrupted = true
+			continue
+		}
+		rows = append(rows, row)
+	}
+	if cp != nil {
+		if err := cp.Err(); err != nil {
+			return rows, err
+		}
+	}
+	if interrupted {
+		return rows, ctx.Err()
+	}
 	return rows, nil
+}
+
+// settledRow converts one trial outcome into a row. Cells skipped by
+// cancellation report ok=false — they produced no result and must not
+// be recorded as failures (the pre-fix bug: ctx.Err() at collection
+// time discarded every completed row and disguised genuine failures).
+func settledRow(c SweepCell, res any, err error) (SweepRow, bool) {
+	switch {
+	case err == nil:
+		return res.(SweepRow), true
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return SweepRow{}, false
+	default:
+		// Strip the runner's "trial N:" prefix: trial indices depend on
+		// how many cells a resume skipped, and the row must not.
+		var te *runner.TrialError
+		if errors.As(err, &te) {
+			return SweepRow{SweepCell: c, Err: te.Err.Error()}, true
+		}
+		return SweepRow{SweepCell: c, Err: err.Error()}, true
+	}
 }
 
 // SweepPoint aggregates one grid point's replications.
 type SweepPoint struct {
 	Config    string
 	MinorBits uint
+	MinorNA   bool `json:",omitempty"`
 	MetaKB    int
 	Noise     arch.Cycles
 	Covert    stats.MeanVar
@@ -237,17 +422,28 @@ type SweepPoint struct {
 	Errs      int
 }
 
+// MinorLabel renders the point's minor-width axis value; "na" when the
+// config's design point ignores it.
+func (p SweepPoint) MinorLabel() string {
+	if p.MinorNA {
+		return "na"
+	}
+	return fmt.Sprintf("%d", p.MinorBits)
+}
+
 // Aggregate folds the rows' replications per grid point, preserving grid
 // order. The accumulators merge associatively, so the fold is
-// independent of how the rows were produced.
+// independent of how the rows were produced. MinorNA rows aggregate
+// under the "na" label, never as distinct minor-width points.
 func (a SweepAxes) Aggregate(rows []SweepRow) []SweepPoint {
 	byKey := map[string]*SweepPoint{}
 	var order []*SweepPoint
 	for _, r := range rows {
-		key := fmt.Sprintf("%s/%d/%d/%d", r.Config, r.MinorBits, r.MetaKB, r.Noise)
+		key := fmt.Sprintf("%s/%s/%d/%d", r.Config, r.MinorLabel(), r.MetaKB, r.Noise)
 		p := byKey[key]
 		if p == nil {
-			p = &SweepPoint{Config: r.Config, MinorBits: r.MinorBits, MetaKB: r.MetaKB, Noise: r.Noise}
+			p = &SweepPoint{Config: r.Config, MinorBits: r.MinorBits, MinorNA: r.MinorNA,
+				MetaKB: r.MetaKB, Noise: r.Noise}
 			byKey[key] = p
 			order = append(order, p)
 		}

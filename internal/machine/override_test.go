@@ -1,0 +1,107 @@
+package machine
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestOverrideApplyKinds(t *testing.T) {
+	dp := ConfigSCT()
+	for _, s := range []string{
+		"MinorBits=6",
+		"MetaKB=64",
+		"FastCrypto=true",
+		"Cores=8",
+		"NoiseInterval=8000",
+		"Seed=42",
+		"Counter=MoC",
+		"TreeArities=8,8,8",
+	} {
+		ov, err := ParseOverride(s)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if err := ov.Apply(&dp); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+	}
+	if dp.MinorBits != 6 || dp.MetaKB != 64 || !dp.FastCrypto || dp.Cores != 8 {
+		t.Fatalf("overrides not applied: %+v", dp)
+	}
+	if dp.NoiseInterval != 8000 || dp.Seed != 42 || dp.Counter != CounterMoC {
+		t.Fatalf("overrides not applied: %+v", dp)
+	}
+	if !reflect.DeepEqual(dp.TreeArities, []int{8, 8, 8}) {
+		t.Fatalf("slice override not applied: %v", dp.TreeArities)
+	}
+}
+
+func TestOverrideTypedErrors(t *testing.T) {
+	dp := ConfigSCT()
+	err := (FieldOverride{Field: "NoSuchField", Value: "1"}).Apply(&dp)
+	if !errors.Is(err, ErrUnknownField) {
+		t.Fatalf("unknown field error = %v", err)
+	}
+	var fe *FieldError
+	if !errors.As(err, &fe) || fe.Field != "NoSuchField" {
+		t.Fatalf("FieldError not exposed: %v", err)
+	}
+
+	err = (FieldOverride{Field: "DRAM", Value: "x"}).Apply(&dp)
+	if !errors.Is(err, ErrUnsupportedField) {
+		t.Fatalf("nested struct field error = %v", err)
+	}
+
+	if err := (FieldOverride{Field: "MinorBits", Value: "seven"}).Apply(&dp); err == nil {
+		t.Fatal("unparseable value accepted")
+	}
+	if err := (FieldOverride{Field: "MinorBits", Value: "-1"}).Apply(&dp); err == nil {
+		t.Fatal("negative value accepted for uint field")
+	}
+}
+
+func TestParseOverride(t *testing.T) {
+	if _, err := ParseOverride("MinorBits"); err == nil {
+		t.Fatal("missing '=' accepted")
+	}
+	if _, err := ParseOverride("=6"); err == nil {
+		t.Fatal("empty field name accepted")
+	}
+	ov, err := ParseOverride(" MinorBits = 6 ")
+	if err != nil || ov.Field != "MinorBits" || ov.Value != "6" {
+		t.Fatalf("whitespace not trimmed: %+v %v", ov, err)
+	}
+	if _, err := ParseOverrides([]string{"A=1", "broken"}); err == nil {
+		t.Fatal("malformed list element accepted")
+	}
+}
+
+func TestOverridableFields(t *testing.T) {
+	fields := OverridableFields()
+	want := map[string]bool{"MinorBits": true, "MetaKB": true, "FastCrypto": true, "TreeArities": true}
+	for _, f := range fields {
+		delete(want, f)
+		if f == "DRAM" {
+			t.Fatal("nested struct field listed as settable")
+		}
+	}
+	if len(want) != 0 {
+		t.Fatalf("settable fields missing from OverridableFields: %v (got %v)", want, fields)
+	}
+}
+
+func TestUsesMinorBits(t *testing.T) {
+	if !ConfigSCT().UsesMinorBits() {
+		t.Fatal("SCT must use MinorBits (SC counters + SCT tree)")
+	}
+	if !ConfigHT().UsesMinorBits() {
+		t.Fatal("HT must use MinorBits (SC counters)")
+	}
+	if ConfigSGX().UsesMinorBits() {
+		t.Fatal("SGX must not use MinorBits (MoC counters + SIT tree hardwire 56 bits)")
+	}
+	if (DesignPoint{}).UsesMinorBits() != true {
+		t.Fatal("zero-value design point defaults to SC counters")
+	}
+}

@@ -58,6 +58,19 @@ func (e *TrialError) Unwrap() error { return e.Err }
 //
 // workers <= 0 selects runtime.GOMAXPROCS(0).
 func RunAll(ctx context.Context, trials []Trial, workers int) ([]any, []error) {
+	return RunAllFunc(ctx, trials, workers, nil)
+}
+
+// RunAllFunc is RunAll with a per-trial completion callback. onDone,
+// when non-nil, is invoked exactly once per trial slot as it settles —
+// with the trial's result or error, including trials skipped after
+// cancellation (their err wraps ctx's error) — so a caller can
+// checkpoint completed work incrementally instead of waiting for the
+// whole pool to drain. Calls arrive in completion order, not index
+// order, serialized by an internal mutex: onDone needs no locking of
+// its own, but it runs on the worker's goroutine, so a slow callback
+// stalls that worker.
+func RunAllFunc(ctx context.Context, trials []Trial, workers int, onDone func(i int, result any, err error)) ([]any, []error) {
 	results := make([]any, len(trials))
 	errs := make([]error, len(trials))
 	if len(trials) == 0 {
@@ -68,6 +81,16 @@ func RunAll(ctx context.Context, trials []Trial, workers int) ([]any, []error) {
 	}
 	if workers > len(trials) {
 		workers = len(trials)
+	}
+
+	report := func(int) {}
+	if onDone != nil {
+		var mu sync.Mutex
+		report = func(i int) {
+			mu.Lock()
+			defer mu.Unlock()
+			onDone(i, results[i], errs[i])
+		}
 	}
 
 	// Work distribution is a prefilled channel of indices: workers pull
@@ -89,9 +112,10 @@ func RunAll(ctx context.Context, trials []Trial, workers int) ([]any, []error) {
 			for i := range idx {
 				if err := ctx.Err(); err != nil {
 					errs[i] = &TrialError{Index: i, Err: err}
-					continue
+				} else {
+					results[i], errs[i] = runOne(trials[i], i)
 				}
-				results[i], errs[i] = runOne(trials[i], i)
+				report(i)
 			}
 		}()
 	}

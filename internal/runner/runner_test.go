@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -163,6 +164,59 @@ func TestCancellation(t *testing.T) {
 	// Run must report the cancellation as an error, partial results intact.
 	if _, err := Run(ctx, []Trial{func() (any, error) { return nil, nil }}, 1); !errors.Is(err, context.Canceled) {
 		t.Fatalf("Run on cancelled ctx: %v", err)
+	}
+}
+
+// TestCompletionCallback checks RunAllFunc's onDone contract: exactly
+// one call per trial slot, carrying the same result/error the returned
+// slices hold, serialized (no interleaving), and covering trials
+// skipped by cancellation.
+func TestCompletionCallback(t *testing.T) {
+	const n = 32
+	ran := make([]int32, n)
+	trials := squareTrials(n, ran)
+	trials[5] = func() (any, error) { return nil, errors.New("boom") }
+
+	calls := make([]int, n)
+	var inCallback bool
+	results, errs := RunAllFunc(context.Background(), trials, 4, func(i int, res any, err error) {
+		if inCallback {
+			t.Error("onDone reentered: callbacks must be serialized")
+		}
+		inCallback = true
+		defer func() { inCallback = false }()
+		calls[i]++
+		if i == 5 {
+			if err == nil || !strings.Contains(err.Error(), "boom") {
+				t.Errorf("trial 5 callback err = %v", err)
+			}
+		} else if err != nil || res != i*i {
+			t.Errorf("trial %d callback got (%v, %v)", i, res, err)
+		}
+	})
+	for i, c := range calls {
+		if c != 1 {
+			t.Fatalf("trial %d: onDone called %d times", i, c)
+		}
+	}
+	if results[3] != 9 || errs[5] == nil {
+		t.Fatalf("returned slices disagree with callbacks: %v %v", results[3], errs[5])
+	}
+
+	// On a cancelled context, every slot still gets its callback, with
+	// an error that unwraps to the context error — the signal the
+	// checkpoint layer uses to avoid persisting phantom failures.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cancelled := 0
+	RunAllFunc(ctx, squareTrials(4, make([]int32, 4)), 2, func(i int, res any, err error) {
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("trial %d on cancelled ctx: err = %v", i, err)
+		}
+		cancelled++
+	})
+	if cancelled != 4 {
+		t.Fatalf("cancelled trials got %d callbacks, want 4", cancelled)
 	}
 }
 
