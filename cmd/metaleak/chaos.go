@@ -1,0 +1,54 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"metaleak/internal/experiments"
+)
+
+// chaosCmd is the fault-engine self-test: it runs the machine-level
+// tamper-detection matrix (every secure config × every metadata class ×
+// both access directions must detect its injected corruption) and the
+// harness-level sweep invariants (recovery, quarantine, crash/resume
+// byte-identity), and exits non-zero on any violation. CI runs it as
+// the chaos smoke gate.
+func chaosCmd(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("chaos", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 0xC4A05, "chaos seed (fault plans and machines derive from it)")
+	verbose := fs.Bool("v", false, "print every matrix cell, not just escapes")
+	if _, err := parseInterleaved(fs, args); err != nil {
+		return err
+	}
+
+	outcomes := experiments.ChaosMatrix(*seed)
+	escapes := 0
+	for _, o := range outcomes {
+		if o.Escaped() {
+			escapes++
+			fmt.Printf("ESCAPE   %-16s %-10s %-5s injected=%d detected=%d undelivered=%d\n",
+				o.Config, o.Class, o.Op(), o.Injected, o.Detected, o.Undelivered)
+		} else if *verbose {
+			fmt.Printf("detected %-16s %-10s %-5s injected=%d detected=%d\n",
+				o.Config, o.Class, o.Op(), o.Injected, o.Detected)
+		}
+	}
+	fmt.Printf("machine matrix: %d cells, %d silent escapes\n", len(outcomes), escapes)
+
+	dir, err := os.MkdirTemp("", "metaleak-chaos-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	if err := experiments.ChaosSweep(ctx, dir, *seed); err != nil {
+		return err
+	}
+	fmt.Println("harness sweep: recovery, quarantine, and crash/resume invariants hold")
+
+	if escapes > 0 {
+		return fmt.Errorf("chaos: %d injected corruptions escaped detection", escapes)
+	}
+	return nil
+}

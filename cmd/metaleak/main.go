@@ -12,14 +12,21 @@
 //	                             [-json|-long] [-par N]
 //	metaleak trace jpeg|rsa      [-csv] [-bin FILE]
 //	metaleak trace replay FILE   [-csv] [-bin OUT]
+//	metaleak chaos               [-seed N] [-v]
 //
 // Flags may be interleaved with positional arguments (`run fig6 -par 4`
 // works). -par bounds how many trials run concurrently; results are
 // byte-identical for every value, including 1 (the historic sequential
-// behaviour). sweep's -checkpoint persists each completed cell to FILE
-// (atomic rename) and a rerun with the same axes resumes from it; -set
-// overrides any DesignPoint field per cell; -long emits one
-// (cell, metric, value) CSV row per measurement. Experiment IDs follow the paper: table1, fig6, fig7, fig8,
+// behaviour). sweep's -checkpoint appends each completed cell to FILE
+// and a rerun with the same axes resumes from it (a trailing line torn
+// by a crash is salvaged and its cell re-run); -set overrides any
+// DesignPoint field per cell; -long emits one (cell, metric, value) CSV
+// row per measurement. run and sweep take -faults SPEC (a seeded fault
+// plan, DESIGN.md §8: machine: entries corrupt metadata and must be
+// detected, harness: entries fail trials and tear checkpoints),
+// -retries N (failed cells retry, then quarantine), and
+// -trial-timeout D (per-attempt deadline); chaos self-tests the fault
+// engine end to end. Experiment IDs follow the paper: table1, fig6, fig7, fig8,
 // fig11, fig12, fig14, fig15, fig15c, fig16, fig17, fig18; the
 // design-space ablations ablctr, abltree, ablmeta, ablminor, ablnoise,
 // ablsec; and the §IX defence evaluations defiso, defrand, defladder.
@@ -41,9 +48,11 @@ import (
 
 	"metaleak/internal/arch"
 	"metaleak/internal/experiments"
+	"metaleak/internal/faults"
 	"metaleak/internal/jpeg"
 	"metaleak/internal/machine"
 	"metaleak/internal/mpi"
+	"metaleak/internal/runner"
 	"metaleak/internal/trace"
 	"metaleak/internal/victim"
 )
@@ -95,6 +104,8 @@ func run(ctx context.Context, args []string) error {
 		return sweepCmd(ctx, args[1:])
 	case "trace":
 		return traceCmd(args[1:])
+	case "chaos":
+		return chaosCmd(ctx, args[1:])
 	default:
 		usage()
 		return fmt.Errorf("unknown command %q", args[0])
@@ -107,6 +118,9 @@ func runCmd(ctx context.Context, args []string) error {
 	seed := fs.Uint64("seed", 0, "experiment seed")
 	asJSON := fs.Bool("json", false, "emit results as JSON")
 	par := fs.Int("par", 0, "max trials in flight (0 = GOMAXPROCS; output is identical for every value)")
+	faultSpec := fs.String("faults", "", "harness fault plan (harness:KIND@TRIAL[xN] entries; see DESIGN.md §8)")
+	retries := fs.Int("retries", 0, "extra attempts for a failed trial")
+	trialTimeout := fs.Duration("trial-timeout", 0, "per-attempt trial deadline (0 = none)")
 	ids, err := parseInterleaved(fs, args)
 	if err != nil {
 		return err
@@ -117,6 +131,21 @@ func runCmd(ctx context.Context, args []string) error {
 	}
 	if len(ids) == 1 && ids[0] == "all" {
 		ids = experiments.IDs()
+	}
+	var harness *faults.Harness
+	if *faultSpec != "" {
+		plan, err := faults.Parse(*faultSpec)
+		if err != nil {
+			return fmt.Errorf("run: %w", err)
+		}
+		if plan.HasMachine() {
+			return fmt.Errorf("run: machine-level fault entries attach to design points; use `sweep -faults` (or -set FaultSpec=...), which routes them into every cell's machine")
+		}
+		harness = plan.NewHarness()
+	}
+	pol := runner.Policy{Workers: *par, Timeout: *trialTimeout, Retries: *retries}
+	if *retries > 0 {
+		pol.Backoff = runner.ExpBackoff(50 * time.Millisecond)
 	}
 	opts := experiments.Default()
 	if *full {
@@ -137,7 +166,7 @@ func runCmd(ctx context.Context, args []string) error {
 		// on the flagged line or the line directly above it.
 		//metalint:allow wallclock operator-facing experiment runtime
 		start := time.Now()
-		res, err := experiments.Run(ctx, id, opts, *par)
+		res, err := experiments.RunPolicy(ctx, id, opts, pol, harness)
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}
@@ -217,6 +246,9 @@ func sweepCmd(ctx context.Context, args []string) error {
 	long := fs.Bool("long", false, "emit long-format CSV: one (cell, metric, value) row per measurement")
 	par := fs.Int("par", 0, "max cells in flight (0 = GOMAXPROCS)")
 	checkpoint := fs.String("checkpoint", "", "persist completed cells to FILE and resume from it on rerun")
+	faultSpec := fs.String("faults", "", "fault plan (DESIGN.md §8): machine: entries corrupt metadata in every cell's machine, harness: entries fail trials and tear checkpoints")
+	retries := fs.Int("retries", 0, "extra attempts for a failed cell before quarantine")
+	trialTimeout := fs.Duration("trial-timeout", 0, "per-attempt cell deadline (0 = none)")
 	var sets multiFlag
 	fs.Var(&sets, "set", "DesignPoint field override Field=value (repeatable, e.g. -set FastCrypto=true)")
 	if _, err := parseInterleaved(fs, args); err != nil {
@@ -258,8 +290,40 @@ func sweepCmd(ctx context.Context, args []string) error {
 	if err := applySetFlags(&axes, sets, explicitFlags(fs)); err != nil {
 		return err
 	}
+	var harness *faults.Harness
+	if *faultSpec != "" {
+		plan, err := faults.Parse(*faultSpec)
+		if err != nil {
+			return fmt.Errorf("sweep: %w", err)
+		}
+		if plan.HasMachine() {
+			// Machine-level entries are design-point state: route them
+			// through the override path so they join the sweep's identity
+			// (and the checkpoint fingerprint) like any other -set field.
+			for _, s := range axes.Set {
+				if strings.HasPrefix(s, "FaultSpec=") {
+					return fmt.Errorf("sweep: -faults machine entries conflict with -set FaultSpec; pass the plan once")
+				}
+			}
+			axes.Set = append(axes.Set, "FaultSpec="+plan.MachineSpec())
+		}
+		harness = plan.NewHarness()
+	}
+	sweepOpts := experiments.SweepOptions{
+		Workers:    *par,
+		Checkpoint: *checkpoint,
+		Timeout:    *trialTimeout,
+		Retries:    *retries,
+		Faults:     harness,
+		Log: func(format string, logArgs ...any) {
+			fmt.Fprintf(os.Stderr, "# "+format+"\n", logArgs...)
+		},
+	}
+	if *retries > 0 {
+		sweepOpts.Backoff = runner.ExpBackoff(50 * time.Millisecond)
+	}
 
-	rows, err := experiments.SweepCheckpointed(ctx, axes, *par, *checkpoint)
+	rows, err := experiments.SweepOpts(ctx, axes, sweepOpts)
 	if err != nil {
 		if (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) && len(rows) > 0 {
 			// Interrupted mid-grid: report the completed rows before
@@ -458,6 +522,11 @@ func runReplay(file string, csvOut bool, binFile string) error {
 	}
 	var rec trace.Recorder
 	if err := rec.UnmarshalBinary(data); err != nil {
+		var de *trace.DecodeError
+		if errors.As(err, &de) && de.Record >= 0 {
+			return fmt.Errorf("trace replay %s: file is truncated or corrupt at byte %d of %d, record %d: %w",
+				file, de.Offset, len(data), de.Record, de.Err)
+		}
 		return fmt.Errorf("trace replay %s: %w", file, err)
 	}
 	fmt.Print(rec.Summary())
@@ -485,5 +554,9 @@ func usage() {
                       [-seeds N] [-seed N] [-bits N] [-set Field=value]...
                       [-checkpoint FILE] [-json|-long] [-par N]
        metaleak trace jpeg|rsa [-csv] [-bin FILE]
-       metaleak trace replay FILE [-csv] [-bin OUT]`)
+       metaleak trace replay FILE [-csv] [-bin OUT]
+       metaleak chaos [-seed N] [-v]
+
+run and sweep accept -faults SPEC (fault plan, DESIGN.md §8),
+-retries N, and -trial-timeout D; chaos self-tests the fault engine.`)
 }

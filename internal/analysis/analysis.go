@@ -70,6 +70,7 @@ var All = []*Analyzer{
 	CycleLeak,
 	FloatCycles,
 	UncheckedErr,
+	SeedPlumbing,
 }
 
 // ByName returns the registered analyzer with the given name, or nil.

@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SeedPlumbing forbids seeding arch.NewRNG with a compile-time
+// constant outside test files. Every RNG stream in the simulator must
+// be steerable from the experiment configuration: a literal seed
+// produces the same draws in every cell of a sweep, silently
+// correlating trials that the harness treats as independent, and makes
+// `-seed N` a lie for whatever that RNG drives. The seed argument must
+// be plumbed from a Config/DesignPoint seed (possibly XORed or
+// stream-split); constant *stream keys* in the variadic tail are fine —
+// they are domain-separation tags, not entropy.
+var SeedPlumbing = &Analyzer{
+	Name: "seedplumbing",
+	Doc: "forbid constant seeds to arch.NewRNG outside tests: seeds must " +
+		"derive from the experiment Config/DesignPoint so every stochastic " +
+		"stream is steered by -seed and decorrelated across sweep cells",
+	Run: runSeedPlumbing,
+}
+
+func runSeedPlumbing(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		filename := pass.Pkg.Fset.Position(f.Package).Filename
+		if isTestFile(filename) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			if !isNewRNG(info, call) {
+				return true
+			}
+			seed := unparen(call.Args[0])
+			if tv, ok := info.Types[seed]; ok && tv.Value != nil {
+				pass.Reportf(seed.Pos(),
+					"arch.NewRNG seeded with the constant %s: derive the seed from the "+
+						"experiment's Config/DesignPoint seed so the stream is steerable and "+
+						"uncorrelated across sweep cells", tv.Value)
+			}
+			return true
+		})
+	}
+}
+
+// isNewRNG reports whether the call invokes the function NewRNG
+// declared in a package named arch. Matching by package name rather
+// than full import path lets the golden-test stub under testdata stand
+// in for metaleak/internal/arch (mirroring isCyclesType).
+func isNewRNG(info *types.Info, call *ast.CallExpr) bool {
+	obj := callee(info, call)
+	if obj == nil || obj.Name() != "NewRNG" {
+		return false
+	}
+	if _, isFunc := obj.(*types.Func); !isFunc {
+		return false
+	}
+	return obj.Pkg() != nil && obj.Pkg().Name() == "arch"
+}

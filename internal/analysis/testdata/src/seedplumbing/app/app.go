@@ -1,0 +1,42 @@
+// Package app is a golden-test fixture for the seedplumbing analyzer.
+package app
+
+import "internal/arch"
+
+// Config stands in for the experiment configuration that owns the seed.
+type Config struct{ Seed uint64 }
+
+const defaultSeed = 0xdead
+
+// LiteralBad seeds from an integer literal; flagged.
+func LiteralBad() *arch.RNG {
+	return arch.NewRNG(42)
+}
+
+// ConstBad seeds from a named constant — still compile-time; flagged.
+func ConstBad() *arch.RNG {
+	return arch.NewRNG(defaultSeed, 7)
+}
+
+// ExprBad hides the literal behind constant arithmetic and parens;
+// still compile-time; flagged.
+func ExprBad() *arch.RNG {
+	return arch.NewRNG((1 << 20) ^ 0x17)
+}
+
+// PlumbedGood derives the seed from the configuration; clean. Constant
+// stream keys are domain-separation tags, not entropy, and stay legal.
+func PlumbedGood(cfg Config) *arch.RNG {
+	return arch.NewRNG(cfg.Seed^0xcafe, 0xFA, 0x17)
+}
+
+// ForkGood seeds from another generator's draw; clean.
+func ForkGood(r *arch.RNG) *arch.RNG {
+	return arch.NewRNG(r.Uint64())
+}
+
+// DemoAllowed is annotated (e.g. a fixed demo stream); clean.
+func DemoAllowed() *arch.RNG {
+	//metalint:allow seedplumbing fixture: fixed demo stream
+	return arch.NewRNG(1)
+}

@@ -1,0 +1,21 @@
+// Package arch is a stub standing in for metaleak/internal/arch in the
+// seedplumbing golden test.
+package arch
+
+// RNG is a stub of the seeded deterministic generator.
+type RNG struct{ state uint64 }
+
+// NewRNG mirrors the real constructor's shape: seed then stream keys.
+func NewRNG(seed uint64, stream ...uint64) *RNG {
+	r := &RNG{state: seed}
+	for _, s := range stream {
+		r.state ^= s
+	}
+	return r
+}
+
+// Uint64 advances the stub state.
+func (r *RNG) Uint64() uint64 {
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	return r.state
+}

@@ -58,6 +58,13 @@ type Scheme interface {
 	// given counter block (the reverse of CounterBlock). Used by attack
 	// address arithmetic.
 	DataBlocksOf(cb arch.BlockID) []arch.BlockID
+	// CorruptCounter flips counter state covering b (tamper injection:
+	// physical corruption of the counter block in memory): the per-block
+	// minor/counter low bit, or — with major set — the shared major
+	// counter / a high counter bit. Both Value(b) and
+	// BlockBytes(CounterBlock(b)) change, so the data MAC and the
+	// integrity tree each have something to catch.
+	CorruptCounter(b arch.BlockID, major bool)
 }
 
 // counterBase is CounterBase expressed as a BlockID.
@@ -174,6 +181,17 @@ func (s *SC) Increment(b arch.BlockID) (uint64, *Overflow) {
 	}
 	pc.minors[idx] = 1
 	return s.fused(pc.major, 1), ov
+}
+
+// CorruptCounter implements Scheme: the page's shared major counter or
+// b's own minor counter takes a one-bit flip.
+func (s *SC) CorruptCounter(b arch.BlockID, major bool) {
+	pc := s.page(b.Page())
+	if major {
+		pc.major ^= 1
+		return
+	}
+	pc.minors[b.Index()] ^= 1
 }
 
 // BlockBytes implements Scheme: 8 bytes of major counter followed by 56
@@ -295,6 +313,17 @@ func (m *MoC) Increment(b arch.BlockID) (uint64, *Overflow) {
 	return m.Value(b), ov
 }
 
+// CorruptCounter implements Scheme. MoC has no shared major counter, so
+// the "major" flavour flips the counter's top stored bit instead — a
+// high-order corruption of the same per-block counter word.
+func (m *MoC) CorruptCounter(b arch.BlockID, major bool) {
+	if major {
+		m.counters[b] ^= 1 << (m.cfg.Bits - 1)
+		return
+	}
+	m.counters[b] ^= 1
+}
+
 // BlockBytes implements Scheme.
 func (m *MoC) BlockBytes(cb arch.BlockID) [arch.BlockSize]byte {
 	var out [arch.BlockSize]byte
@@ -390,6 +419,17 @@ func (g *GC) Increment(b arch.BlockID) (uint64, *Overflow) {
 	g.global++
 	g.snapshots[b] = g.global
 	return g.Value(b), ov
+}
+
+// CorruptCounter implements Scheme: the stored state per block is the
+// encryption-time snapshot, so that is what physical corruption hits —
+// low bit, or top snapshot bit for the "major" flavour.
+func (g *GC) CorruptCounter(b arch.BlockID, major bool) {
+	if major {
+		g.snapshots[b] ^= 1 << (g.cfg.Bits - 1)
+		return
+	}
+	g.snapshots[b] ^= 1
 }
 
 // BlockBytes implements Scheme.

@@ -131,6 +131,13 @@ func (d *DRAM) RowOf(b arch.BlockID) int64 {
 	return int64(uint64(b) / d.blocksPerRow())
 }
 
+// SameRow reports whether two blocks share a physical DRAM row (same
+// bank, same row): the blast radius of a row-level fault — a disturbed
+// wordline corrupts neighbouring blocks together, not one at a time.
+func (d *DRAM) SameRow(a, b arch.BlockID) bool {
+	return d.RowOf(a) == d.RowOf(b) && d.BankOf(a) == d.BankOf(b)
+}
+
 // access performs one bank access starting no earlier than now and returns
 // its completion time.
 func (d *DRAM) access(now arch.Cycles, b arch.BlockID, occupancy arch.Cycles) arch.Cycles {

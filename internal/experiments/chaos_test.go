@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"metaleak/internal/arch"
+	"metaleak/internal/faults"
+)
+
+// TestChaosMatrix is the tamper-detection matrix: every secure config ×
+// every metadata class × both access directions must detect its
+// injected corruption — zero silent escapes, and zero undelivered
+// faults (an undelivered fault would make the "detected" claim
+// vacuous).
+func TestChaosMatrix(t *testing.T) {
+	outcomes := ChaosMatrix(0xC4A05)
+	if len(outcomes) != 7*6*2 {
+		t.Fatalf("matrix has %d cells, want %d", len(outcomes), 7*6*2)
+	}
+	for _, o := range outcomes {
+		if o.Escaped() {
+			t.Errorf("%s/%s/%s: escaped (injected %d, detected %d, undelivered %d)",
+				o.Config, o.Class, o.Op(), o.Injected, o.Detected, o.Undelivered)
+		}
+	}
+}
+
+// TestChaosMatrixDeterministic pins the engine's reproducibility: the
+// same seed yields the identical outcome list.
+func TestChaosMatrixDeterministic(t *testing.T) {
+	a := ChaosMatrix(7)
+	b := ChaosMatrix(7)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("cell %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestChaosSweep runs the harness-level self-test: recovery under
+// injected panics/errors at both parallelisms, quarantine of a cell
+// that exhausts its attempts, and crash/resume across a torn
+// checkpoint.
+func TestChaosSweep(t *testing.T) {
+	if err := ChaosSweep(context.Background(), t.TempDir(), 11); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSweepStallTimeout checks the remaining harness fault kind: an
+// injected stall trips the per-attempt deadline and the retry recovers
+// the cell.
+func TestSweepStallTimeout(t *testing.T) {
+	axes := SweepAxes{
+		Configs:   []string{"sct"},
+		MinorBits: []uint{7},
+		MetaKB:    []int{64},
+		Noise:     []arch.Cycles{0},
+		Seeds:     2,
+		Seed:      3,
+		Bits:      8,
+		Set:       []string{"SecurePages=16384", "FastCrypto=true"},
+	}
+	clean, err := SweepOpts(context.Background(), axes, SweepOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := faults.MustParse("harness:stall@1")
+	h := plan.NewHarness()
+	// The deadline must sit far above a genuine cell's runtime (which
+	// balloons under -race) and far below the stall, so only the
+	// injected fault can trip it.
+	h.SetStall(time.Minute)
+	rows, err := SweepOpts(context.Background(), axes, SweepOptions{
+		Workers: 2,
+		Timeout: 5 * time.Second,
+		Retries: 1,
+		Faults:  h,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rowsIdentical(clean, rows); err != nil {
+		t.Fatalf("rows after stall recovery differ: %v", err)
+	}
+}

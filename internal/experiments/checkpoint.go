@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"bufio"
 	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
@@ -10,24 +9,27 @@ import (
 	"fmt"
 	"io/fs"
 	"os"
-	"sort"
 	"sync"
 )
 
 // The checkpoint layer makes long sweeps restartable. A checkpoint file
 // is JSONL: a header line naming the format and the sweep's fingerprint,
-// then one completed SweepRow per line in cell-index order. Every append
-// rewrites the whole file to a sibling .tmp and renames it over the
-// checkpoint — the file on disk is always a complete, parseable
-// prefix-of-the-grid state, no matter where a SIGKILL lands. Grids are
-// a few thousand cells at most and each cell simulates millions of
-// cycles, so the rewrite cost is noise next to the work it protects.
+// then one completed SweepRow per line in completion order (duplicates
+// allowed; the last line for a cell wins). Rows are appended — O(1) per
+// settled cell — and every line ends with '\n', which makes the failure
+// mode of a crash legible: the only damage a SIGKILL mid-append can do
+// is one unterminated trailing line. Resume salvages around exactly
+// that: complete lines are loaded, a torn tail is logged, cut off, and
+// its cell re-run (deterministically reproducing the lost row). Damage
+// anywhere else — a complete line that does not parse or does not
+// belong to the grid — is not a crash signature and still fails loudly.
 //
 // The fingerprint ties a checkpoint to the exact grid that wrote it:
 // the hash covers every expanded cell (config, axis labels, rep, and the
 // cell's derived machine seed), the per-cell bit budget, and the
-// design-point overrides. Resuming with any other axes fails loudly
-// instead of silently merging rows from unrelated grids.
+// design-point overrides — including any machine-level fault plan, which
+// travels as a FaultSpec override. Resuming with any other axes fails
+// loudly instead of silently merging rows from unrelated grids.
 
 // checkpointFormat identifies the file layout; bump on changes.
 const checkpointFormat = "metaleak-sweep-checkpoint/v1"
@@ -66,21 +68,31 @@ func (a SweepAxes) Fingerprint() string {
 }
 
 // Checkpoint is the durable record of a sweep in progress: completed
-// rows keyed by cell index, flushed to disk on every append.
+// rows keyed by cell index, appended to disk as they settle.
 type Checkpoint struct {
 	path   string
 	header checkpointHeader
 	cells  []SweepCell
 
-	mu   sync.Mutex
-	rows map[int]SweepRow
-	err  error // first persistence failure; appends stop after it
+	mu        sync.Mutex
+	rows      map[int]SweepRow
+	f         *os.File // lazily opened append handle
+	appends   int
+	tamper    func(path string, appendN int) bool
+	crashed   bool   // simulated writer death (fault injection)
+	discarded string // torn trailing line salvaged away at open
+	err       error  // first persistence failure; appends stop after it
 }
 
 // OpenCheckpoint opens (or starts) the checkpoint for a sweep. A
-// missing file begins an empty checkpoint; an existing one must carry
-// the axes' fingerprint and well-formed rows belonging to the grid, or
-// the open fails — a checkpoint from a different sweep is never merged.
+// missing or empty file begins an empty checkpoint; an existing one
+// must carry the axes' fingerprint and well-formed rows belonging to
+// the grid, or the open fails — a checkpoint from a different sweep is
+// never merged. The one exception is the crash signature of the append
+// discipline itself: an unterminated trailing line (a write torn by
+// SIGKILL or power loss mid-append) is salvaged — logged via
+// Discarded, cut off the file, and its cell left to re-run — instead
+// of failing the whole resume.
 func OpenCheckpoint(path string, axes SweepAxes) (*Checkpoint, error) {
 	axes = axes.normalized()
 	cells := axes.Cells()
@@ -95,20 +107,26 @@ func OpenCheckpoint(path string, axes SweepAxes) (*Checkpoint, error) {
 		rows:  map[int]SweepRow{},
 	}
 	data, err := os.ReadFile(path)
-	if errors.Is(err, fs.ErrNotExist) {
+	if errors.Is(err, fs.ErrNotExist) || (err == nil && len(data) == 0) {
 		return cp, nil
 	}
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint %s: %w", path, err)
 	}
 
-	sc := bufio.NewScanner(bytes.NewReader(data))
-	sc.Buffer(nil, 1<<20)
-	if !sc.Scan() {
-		return nil, fmt.Errorf("checkpoint %s: empty file (expected a %s header)", path, checkpointFormat)
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		// The file is a single torn line: a crash before the header's
+		// append completed. Nothing is salvageable, but nothing is lost
+		// either — start fresh.
+		cp.discarded = string(data)
+		if err := os.Truncate(path, 0); err != nil {
+			return nil, fmt.Errorf("checkpoint %s: cutting torn header: %w", path, err)
+		}
+		return cp, nil
 	}
 	var hdr checkpointHeader
-	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil || hdr.Format != checkpointFormat {
+	if err := json.Unmarshal(data[:nl], &hdr); err != nil || hdr.Format != checkpointFormat {
 		return nil, fmt.Errorf("checkpoint %s: not a %s file", path, checkpointFormat)
 	}
 	if hdr.Fingerprint != cp.header.Fingerprint {
@@ -116,12 +134,28 @@ func OpenCheckpoint(path string, axes SweepAxes) (*Checkpoint, error) {
 			"it was written by different axes (configs, widths, sizes, noise, seeds, bits, or -set overrides); "+
 			"rerun with the original arguments or remove the file", path, hdr.Fingerprint, cp.header.Fingerprint)
 	}
-	for line := 2; sc.Scan(); line++ {
-		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+
+	off := nl + 1
+	rest := data[off:]
+	for line := 2; len(rest) > 0; line++ {
+		idx := bytes.IndexByte(rest, '\n')
+		if idx < 0 {
+			// Torn trailing line: the crash signature. Salvage everything
+			// before it and cut the tear off so appends resume cleanly.
+			cp.discarded = string(rest)
+			if err := os.Truncate(path, int64(off)); err != nil {
+				return nil, fmt.Errorf("checkpoint %s: cutting torn line: %w", path, err)
+			}
+			break
+		}
+		seg := rest[:idx]
+		off += idx + 1
+		rest = rest[idx+1:]
+		if len(bytes.TrimSpace(seg)) == 0 {
 			continue
 		}
 		var row SweepRow
-		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+		if err := json.Unmarshal(seg, &row); err != nil {
 			return nil, fmt.Errorf("checkpoint %s: line %d: %w", path, line, err)
 		}
 		if row.Index < 0 || row.Index >= len(cells) {
@@ -134,10 +168,27 @@ func OpenCheckpoint(path string, axes SweepAxes) (*Checkpoint, error) {
 		}
 		cp.rows[row.Index] = row
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("checkpoint %s: %w", path, err)
-	}
 	return cp, nil
+}
+
+// Discarded returns the torn trailing line OpenCheckpoint salvaged
+// away, if any — callers surface it as a warning so the data loss
+// (exactly one re-runnable cell) is visible, not silent.
+func (c *Checkpoint) Discarded() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.discarded
+}
+
+// SetTamperer installs the fault-injection hook: after every successful
+// append it receives the file path and the 1-based append count, and a
+// true return simulates the writing process dying — the file is left
+// exactly as the tamperer arranged it and every later append is
+// silently dropped, which is what death looks like to the file.
+func (c *Checkpoint) SetTamperer(fn func(path string, appendN int) bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tamper = fn
 }
 
 // Completed returns the checkpointed rows that finished without error,
@@ -157,50 +208,81 @@ func (c *Checkpoint) Completed() map[int]SweepRow {
 	return out
 }
 
-// Append records a settled row and flushes the file atomically. Safe
-// for concurrent use; after the first persistence failure further
-// appends are dropped and Err reports the failure.
+// Append records a settled row and appends it to the file. Safe for
+// concurrent use; after the first persistence failure further appends
+// are dropped and Err reports the failure.
 func (c *Checkpoint) Append(row SweepRow) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.err != nil {
+	if c.err != nil || c.crashed {
 		return
 	}
 	c.rows[row.Index] = row
-	c.err = c.flushLocked()
+	c.err = c.appendLocked(row)
 }
 
-// Err returns the first persistence failure, if any.
+// Err returns the first persistence failure, if any. A simulated crash
+// from the tamper hook is not a failure — it is the scenario under
+// test.
 func (c *Checkpoint) Err() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.err
 }
 
-// flushLocked rewrites the whole checkpoint to path.tmp and renames it
-// over path: the visible file atomically moves between valid states.
-func (c *Checkpoint) flushLocked() error {
-	var buf bytes.Buffer
-	enc := json.NewEncoder(&buf)
-	if err := enc.Encode(c.header); err != nil {
+// Close releases the append handle. The file needs no finalization —
+// every append left it complete.
+func (c *Checkpoint) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil {
+		return nil
+	}
+	err := c.f.Close()
+	c.f = nil
+	return err
+}
+
+// appendLocked writes one row line, opening the file (and writing the
+// header) on first use. Lines are written in single Write calls ending
+// in '\n', so the only state a crash can leave behind is a torn final
+// line — the exact shape OpenCheckpoint knows how to salvage.
+func (c *Checkpoint) appendLocked(row SweepRow) error {
+	if c.f == nil {
+		f, err := os.OpenFile(c.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("checkpoint %s: %w", c.path, err)
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("checkpoint %s: %w", c.path, err)
+		}
+		if st.Size() == 0 {
+			hdr, err := json.Marshal(c.header)
+			if err != nil {
+				f.Close()
+				return err
+			}
+			if _, err := f.Write(append(hdr, '\n')); err != nil {
+				f.Close()
+				return fmt.Errorf("checkpoint %s: %w", c.path, err)
+			}
+		}
+		c.f = f
+	}
+	line, err := json.Marshal(row)
+	if err != nil {
 		return err
 	}
-	idx := make([]int, 0, len(c.rows))
-	for i := range c.rows {
-		idx = append(idx, i)
-	}
-	sort.Ints(idx)
-	for _, i := range idx {
-		if err := enc.Encode(c.rows[i]); err != nil {
-			return err
-		}
-	}
-	tmp := c.path + ".tmp"
-	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+	if _, err := c.f.Write(append(line, '\n')); err != nil {
 		return fmt.Errorf("checkpoint %s: %w", c.path, err)
 	}
-	if err := os.Rename(tmp, c.path); err != nil {
-		return fmt.Errorf("checkpoint %s: %w", c.path, err)
+	c.appends++
+	if c.tamper != nil && c.tamper(c.path, c.appends) {
+		c.crashed = true
+		c.f.Close()
+		c.f = nil
 	}
 	return nil
 }

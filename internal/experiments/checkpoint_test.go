@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
@@ -125,9 +127,19 @@ func TestCheckpointRejectsCorruptFiles(t *testing.T) {
 	dir := t.TempDir()
 	for name, content := range map[string]string{
 		"garbage.jsonl": "not json at all\n",
-		"empty.jsonl":   "",
+		// A complete (newline-terminated) body line that is not a row is
+		// NOT a crash signature — crashes tear the tail, they do not
+		// rewrite the middle — so it still fails loudly.
+		"midline.jsonl": "", // filled in below with a valid header
 	} {
 		path := filepath.Join(dir, name)
+		if name == "midline.jsonl" {
+			good, err := os.ReadFile(writeCheckpointFixture(t, dir, axes))
+			if err != nil {
+				t.Fatal(err)
+			}
+			content = string(good) + "not a row\n"
+		}
 		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 			t.Fatal(err)
 		}
@@ -153,6 +165,144 @@ func TestCheckpointRejectsCorruptFiles(t *testing.T) {
 	if _, err := OpenCheckpoint(path, axes); err == nil {
 		t.Fatal("tampered cell accepted")
 	}
+}
+
+// writeCheckpointFixture writes a checkpoint file containing only the
+// valid header line for axes and returns its path.
+func writeCheckpointFixture(t *testing.T, dir string, axes SweepAxes) string {
+	t.Helper()
+	axes = axes.normalized()
+	hdr, err := json.Marshal(checkpointHeader{
+		Format:      checkpointFormat,
+		Fingerprint: axes.Fingerprint(),
+		Cells:       len(axes.Cells()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "fixture.jsonl")
+	if err := os.WriteFile(path, append(hdr, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCheckpointEmptyFileIsFresh: a zero-byte file is the signature of
+// a crash between create and the header append — it begins an empty
+// checkpoint rather than failing the resume.
+func TestCheckpointEmptyFileIsFresh(t *testing.T) {
+	axes := tinyAxes()
+	path := filepath.Join(t.TempDir(), "cp.jsonl")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := OpenCheckpoint(path, axes)
+	if err != nil {
+		t.Fatalf("empty file rejected: %v", err)
+	}
+	if cp.Discarded() != "" || len(cp.Completed()) != 0 {
+		t.Fatalf("empty file is not a fresh checkpoint: discarded=%q rows=%d",
+			cp.Discarded(), len(cp.Completed()))
+	}
+}
+
+// TestCheckpointSalvagesTornTrailingLine: a checkpoint whose final line
+// was torn mid-append (the SIGKILL signature) salvages every complete
+// row, reports the tear via Discarded, cuts it off the file, and the
+// resumed sweep reproduces the uninterrupted output exactly.
+func TestCheckpointSalvagesTornTrailingLine(t *testing.T) {
+	axes := tinyAxes()
+	want, err := Sweep(context.Background(), axes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cp.jsonl")
+	cp, err := OpenCheckpoint(path, axes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.Append(want[0])
+	cp.Append(want[1])
+	if err := cp.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data := mustReadFile(t, path)
+	if err := os.WriteFile(path, data[:len(data)-9], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	salvaged, err := OpenCheckpoint(path, axes)
+	if err != nil {
+		t.Fatalf("torn trailing line rejected: %v", err)
+	}
+	if salvaged.Discarded() == "" {
+		t.Error("tear salvaged silently — Discarded is empty")
+	}
+	done := salvaged.Completed()
+	if len(done) != 1 {
+		t.Fatalf("salvaged %d rows, want 1", len(done))
+	}
+	if got, ok := done[want[0].Index]; !ok || !reflect.DeepEqual(got, want[0]) {
+		t.Fatalf("salvaged row = %+v, want %+v", got, want[0])
+	}
+	if after := mustReadFile(t, path); !bytes.HasSuffix(after, []byte("\n")) {
+		t.Error("open did not cut the torn line off the file")
+	}
+	if err := salvaged.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := SweepCheckpointed(context.Background(), axes, 2, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("resume after salvage differs:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestCheckpointTornHeaderStartsFresh: a file holding a single
+// unterminated line is a crash before the header append completed —
+// nothing is salvageable, so resume starts fresh and still converges.
+func TestCheckpointTornHeaderStartsFresh(t *testing.T) {
+	axes := tinyAxes()
+	path := filepath.Join(t.TempDir(), "cp.jsonl")
+	if err := os.WriteFile(path, []byte(`{"Format":"metaleak-swe`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := OpenCheckpoint(path, axes)
+	if err != nil {
+		t.Fatalf("torn header rejected: %v", err)
+	}
+	if cp.Discarded() == "" || len(cp.Completed()) != 0 {
+		t.Fatalf("torn header: discarded=%q rows=%d", cp.Discarded(), len(cp.Completed()))
+	}
+	if got := mustReadFile(t, path); len(got) != 0 {
+		t.Errorf("torn header left %d bytes, want 0", len(got))
+	}
+	want, err := Sweep(context.Background(), axes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SweepCheckpointed(context.Background(), axes, 2, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("sweep after torn header differs:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func mustReadFile(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
 }
 
 // TestCancelledSweepReportsCompletedRows pins the satellite fix: a

@@ -2,8 +2,10 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
+	"metaleak/internal/faults"
 	"metaleak/internal/runner"
 )
 
@@ -41,13 +43,29 @@ type Spec struct {
 // (workers <= 0 selects GOMAXPROCS) and merges the partials. Output is
 // identical for every worker count, including 1.
 func (s *Spec) Run(ctx context.Context, workers int) (*Result, error) {
+	return s.RunPolicy(ctx, runner.Policy{Workers: workers}, nil)
+}
+
+// RunPolicy is Run under a failure policy (per-trial deadlines, bounded
+// retries) and, under test, injected harness faults wrapped around the
+// trials by index. An experiment — unlike a sweep — has no per-cell
+// failure rows to quarantine into: a trial that exhausts its attempts
+// still fails the whole experiment, the policy only decides how hard it
+// tried first.
+func (s *Spec) RunPolicy(ctx context.Context, pol runner.Policy, h *faults.Harness) (*Result, error) {
 	trials := make([]runner.Trial, len(s.Trials))
 	for i := range s.Trials {
-		trials[i] = s.Trials[i].Run
+		trials[i] = h.WrapTrial(i, s.Trials[i].Run)
 	}
-	parts, err := runner.Run(ctx, trials, workers)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", s.ID, err)
+	parts, errs := runner.RunAllPolicy(ctx, trials, pol, nil)
+	var failed []error
+	for _, err := range errs {
+		if err != nil {
+			failed = append(failed, err)
+		}
+	}
+	if len(failed) > 0 {
+		return nil, fmt.Errorf("%s: %w", s.ID, errors.Join(failed...))
 	}
 	return s.Merge(parts)
 }
@@ -78,4 +96,14 @@ func Run(ctx context.Context, id string, o Options, workers int) (*Result, error
 		return nil, fmt.Errorf("experiments: unknown experiment %q", id)
 	}
 	return mk(o).Run(ctx, workers)
+}
+
+// RunPolicy builds and executes one registered experiment under a
+// failure policy and optional injected harness faults.
+func RunPolicy(ctx context.Context, id string, o Options, pol runner.Policy, h *faults.Harness) (*Result, error) {
+	mk, ok := Registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+	}
+	return mk(o).RunPolicy(ctx, pol, h)
 }

@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"metaleak/internal/arch"
 	"metaleak/internal/core"
+	"metaleak/internal/faults"
 	"metaleak/internal/machine"
 	"metaleak/internal/runner"
 	"metaleak/internal/stats"
@@ -83,23 +85,36 @@ func (c SweepCell) MinorLabel() string {
 }
 
 // SweepRow is one cell's measurements. Err is non-empty when the cell
-// failed (the rest of the sweep is unaffected).
+// failed (the rest of the sweep is unaffected). Under a retry policy a
+// failed cell is quarantined: Quarantined marks it and Attempts records
+// the attempt budget it consumed. Both stay zero outside retry runs, so
+// plain sweeps render byte-identically to what they always did.
 type SweepRow struct {
 	SweepCell
 	CovertAccuracy  float64
 	CyclesPerBit    float64
 	MonitorAccuracy float64
 	Err             string `json:",omitempty"`
+	Attempts        int    `json:",omitempty"`
+	Quarantined     bool   `json:",omitempty"`
 }
 
 // CSVHeader returns the column names of CSVRecord.
 func CSVHeader() []string {
 	return []string{"config", "minor_bits", "meta_kb", "noise", "rep", "seed",
-		"covert_accuracy", "cycles_per_bit", "monitor_accuracy", "err"}
+		"covert_accuracy", "cycles_per_bit", "monitor_accuracy", "err", "attempts", "quarantined"}
 }
 
 // CSVRecord renders the row for `metaleak sweep`'s CSV output.
 func (r SweepRow) CSVRecord() []string {
+	quarantined := ""
+	if r.Quarantined {
+		quarantined = "true"
+	}
+	attempts := ""
+	if r.Attempts > 0 {
+		attempts = fmt.Sprintf("%d", r.Attempts)
+	}
 	return []string{
 		r.Config,
 		r.MinorLabel(),
@@ -111,6 +126,8 @@ func (r SweepRow) CSVRecord() []string {
 		fmt.Sprintf("%.1f", r.CyclesPerBit),
 		fmt.Sprintf("%.4f", r.MonitorAccuracy),
 		r.Err,
+		attempts,
+		quarantined,
 	}
 }
 
@@ -136,7 +153,11 @@ func (r SweepRow) LongRecords() [][]string {
 		return append(append(make([]string, 0, len(key)+2), key...), metric, value)
 	}
 	if r.Err != "" {
-		return [][]string{mk("err", r.Err)}
+		out := [][]string{mk("err", r.Err)}
+		if r.Quarantined {
+			out = append(out, mk("quarantined_after_attempts", fmt.Sprintf("%d", r.Attempts)))
+		}
+		return out
 	}
 	return [][]string{
 		mk("covert_accuracy", fmt.Sprintf("%.4f", r.CovertAccuracy)),
@@ -296,6 +317,35 @@ func runSweepCell(c SweepCell, bits int, ovs []machine.FieldOverride) (SweepRow,
 	return row, nil
 }
 
+// SweepOptions configures how a sweep executes — none of it changes
+// what the cells compute, only how failures and durability are handled,
+// so every option combination yields byte-identical rows for the cells
+// that succeed.
+type SweepOptions struct {
+	// Workers caps concurrent cells; <= 0 selects GOMAXPROCS.
+	Workers int
+	// Checkpoint, when non-empty, persists completed rows to this file
+	// and resumes from it.
+	Checkpoint string
+	// Timeout bounds each cell attempt; 0 disables stall detection.
+	Timeout time.Duration
+	// Retries grants failed cells extra attempts; a cell that exhausts
+	// them is quarantined (reported in its row, excluded from resume's
+	// completed set so a later run retries it).
+	Retries int
+	// Backoff paces retry attempts; nil retries immediately.
+	Backoff func(attempt int) time.Duration
+	// Faults, when non-nil, injects the plan's harness-level failures:
+	// trial panics/stalls/errors by cell index, and checkpoint-file
+	// truncation. Machine-level faults do not go here — they travel as a
+	// FaultSpec design-point override in the axes, where they are part
+	// of the sweep's identity.
+	Faults *faults.Harness
+	// Log, when non-nil, receives human-readable warnings (e.g. a torn
+	// checkpoint line salvaged at resume). Results never depend on it.
+	Log func(format string, args ...any)
+}
+
 // Sweep runs the whole grid with at most `workers` cells in flight and
 // returns one row per cell in grid order. Cell failures land in the
 // rows' Err fields. Cancellation mid-grid returns the rows of every
@@ -303,18 +353,27 @@ func runSweepCell(c SweepCell, bits int, ovs []machine.FieldOverride) (SweepRow,
 // error — Ctrl-C near the end of a long sweep reports the finished
 // work instead of discarding it.
 func Sweep(ctx context.Context, axes SweepAxes, workers int) ([]SweepRow, error) {
-	return SweepCheckpointed(ctx, axes, workers, "")
+	return SweepOpts(ctx, axes, SweepOptions{Workers: workers})
 }
 
 // SweepCheckpointed is Sweep with durability: when checkpoint names a
-// file, every completed row is persisted there as it finishes (atomic
-// write-and-rename, so an interrupted sweep leaves a valid file), and a
+// file, every completed row is appended there as it finishes, and a
 // rerun with the same axes loads the file, skips the cells it already
 // holds, re-runs only missing or failed ones, and returns the merged
 // grid-order rows — byte-identical to an uninterrupted run. A
 // checkpoint written by different axes (detected by fingerprint) fails
 // loudly instead of merging unrelated grids.
 func SweepCheckpointed(ctx context.Context, axes SweepAxes, workers int, checkpoint string) ([]SweepRow, error) {
+	return SweepOpts(ctx, axes, SweepOptions{Workers: workers, Checkpoint: checkpoint})
+}
+
+// SweepOpts runs the grid under the full execution policy: bounded
+// per-cell deadlines, bounded retries with deterministic backoff, cell
+// quarantine, checkpoint durability with torn-line salvage, and
+// (under test) injected harness faults. The grid's results remain a
+// pure function of the axes: policy decides whether a cell's row is a
+// measurement or a quarantine report, never what the measurement is.
+func SweepOpts(ctx context.Context, axes SweepAxes, opts SweepOptions) ([]SweepRow, error) {
 	axes = axes.normalized()
 	if err := axes.Validate(); err != nil {
 		return nil, err
@@ -333,14 +392,27 @@ func SweepCheckpointed(ctx context.Context, axes SweepAxes, workers int, checkpo
 
 	done := map[int]SweepRow{}
 	var cp *Checkpoint
-	if checkpoint != "" {
-		cp, err = OpenCheckpoint(checkpoint, axes)
+	if opts.Checkpoint != "" {
+		cp, err = OpenCheckpoint(opts.Checkpoint, axes)
 		if err != nil {
 			return nil, err
+		}
+		defer cp.Close()
+		if opts.Faults != nil {
+			cp.SetTamperer(opts.Faults.AfterAppend)
+		}
+		if d := cp.Discarded(); d != "" && opts.Log != nil {
+			opts.Log("checkpoint %s: discarded torn trailing line (%d bytes, crash mid-append); its cell will re-run", opts.Checkpoint, len(d))
 		}
 		done = cp.Completed()
 	}
 
+	pol := runner.Policy{
+		Workers: opts.Workers,
+		Timeout: opts.Timeout,
+		Retries: opts.Retries,
+		Backoff: opts.Backoff,
+	}
 	pending := make([]int, 0, len(cells)-len(done))
 	for i := range cells {
 		if _, ok := done[i]; !ok {
@@ -350,17 +422,22 @@ func SweepCheckpointed(ctx context.Context, axes SweepAxes, workers int, checkpo
 	trials := make([]runner.Trial, len(pending))
 	for ti, i := range pending {
 		c := cells[i]
-		trials[ti] = func() (any, error) { return runSweepCell(c, axes.Bits, ovs) }
+		// Harness faults target grid cell indices, not trial slots: the
+		// plan must hit the same cell whether or not a resume skipped
+		// earlier cells.
+		trials[ti] = opts.Faults.WrapTrial(c.Index, func() (any, error) {
+			return runSweepCell(c, axes.Bits, ovs)
+		})
 	}
 	var onDone func(int, any, error)
 	if cp != nil {
 		onDone = func(ti int, res any, err error) {
-			if row, ok := settledRow(cells[pending[ti]], res, err); ok {
+			if row, ok := settledRow(cells[pending[ti]], res, err, pol); ok {
 				cp.Append(row)
 			}
 		}
 	}
-	parts, errs := runner.RunAllFunc(ctx, trials, workers, onDone)
+	parts, errs := runner.RunAllPolicy(ctx, trials, pol, onDone)
 
 	rows := make([]SweepRow, 0, len(cells))
 	interrupted := false
@@ -370,7 +447,7 @@ func SweepCheckpointed(ctx context.Context, axes SweepAxes, workers int, checkpo
 			rows = append(rows, row)
 			continue
 		}
-		row, ok := settledRow(cells[i], parts[ti], errs[ti])
+		row, ok := settledRow(cells[i], parts[ti], errs[ti], pol)
 		ti++
 		if !ok {
 			interrupted = true
@@ -393,7 +470,11 @@ func SweepCheckpointed(ctx context.Context, axes SweepAxes, workers int, checkpo
 // cancellation report ok=false — they produced no result and must not
 // be recorded as failures (the pre-fix bug: ctx.Err() at collection
 // time discarded every completed row and disguised genuine failures).
-func settledRow(c SweepCell, res any, err error) (SweepRow, bool) {
+// Under a retry policy a failed cell's row is marked quarantined and
+// carries its attempt count; recovered cells (failed attempts followed
+// by a success) stay indistinguishable from clean ones — the retry is
+// execution machinery, not measurement.
+func settledRow(c SweepCell, res any, err error, pol runner.Policy) (SweepRow, bool) {
 	switch {
 	case err == nil:
 		return res.(SweepRow), true
@@ -402,11 +483,16 @@ func settledRow(c SweepCell, res any, err error) (SweepRow, bool) {
 	default:
 		// Strip the runner's "trial N:" prefix: trial indices depend on
 		// how many cells a resume skipped, and the row must not.
+		row := SweepRow{SweepCell: c, Err: err.Error()}
 		var te *runner.TrialError
 		if errors.As(err, &te) {
-			return SweepRow{SweepCell: c, Err: te.Err.Error()}, true
+			row.Err = te.Err.Error()
+			if pol.Retries > 0 {
+				row.Attempts = te.Attempts
+				row.Quarantined = true
+			}
 		}
-		return SweepRow{SweepCell: c, Err: err.Error()}, true
+		return row, true
 	}
 }
 

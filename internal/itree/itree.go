@@ -85,6 +85,16 @@ type Tree interface {
 	// WritebackNode performs the lazy update for a dirty node block leaving
 	// the metadata cache.
 	WritebackNode(ref NodeRef) *Update
+
+	// CorruptNode flips stored node state (tamper injection: physical
+	// spoofing of a node block in memory). The node's hash is established
+	// first if it never was, so a later VerifyNode compares corrupted
+	// state against honest history instead of lazily adopting the
+	// corruption as truth.
+	CorruptNode(ref NodeRef)
+	// CorruptCounterHash flips the stored hash binding a counter block to
+	// the tree (tamper injection), with the same establish-first rule.
+	CorruptCounterHash(cb arch.BlockID)
 }
 
 // Hasher is the slice of the crypto engine the trees need.

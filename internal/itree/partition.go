@@ -177,6 +177,17 @@ func (p *Partitioned) globalizeUpdate(d int, up *Update) *Update {
 	return up
 }
 
+// CorruptNode implements Tree: the corruption lands in the owning domain.
+func (p *Partitioned) CorruptNode(ref NodeRef) {
+	d, local := p.localize(ref)
+	p.domains[d].CorruptNode(local)
+}
+
+// CorruptCounterHash implements Tree.
+func (p *Partitioned) CorruptCounterHash(cb arch.BlockID) {
+	p.domains[p.DomainOfCounterBlock(cb)].CorruptCounterHash(cb)
+}
+
 // RootCount returns the total number of on-chip root entries the forest
 // needs — the hardware cost of isolation the paper's §IX-C flags.
 func (p *Partitioned) RootCount() int {

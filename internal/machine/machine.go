@@ -25,6 +25,7 @@ import (
 	"metaleak/internal/cache"
 	"metaleak/internal/crypto"
 	"metaleak/internal/dram"
+	"metaleak/internal/faults"
 	"metaleak/internal/mirage"
 	"metaleak/internal/secmem"
 	"metaleak/internal/sim"
@@ -98,6 +99,14 @@ type DesignPoint struct {
 	// properties (tamper detection) are preserved; use for very long
 	// sweeps only.
 	FastCrypto bool
+
+	// FaultSpec attaches a machine-level fault plan (internal/faults
+	// grammar, machine: entries only): planned corruptions of off-chip
+	// metadata that the controller's verification must catch. The plan
+	// resolves against Seed, so it participates in reproducibility and
+	// checkpoint fingerprints like every other design knob. NewSystem
+	// panics on a malformed spec; the CLI validates specs up front.
+	FaultSpec string
 
 	// Latency model knobs (zero values select the calibrated defaults).
 	QueueDelay arch.Cycles
@@ -241,6 +250,11 @@ func NewSystem(dp DesignPoint) *System {
 		}
 	}
 	mc := secmem.New(mcCfg, scheme, tree)
+	if dp.FaultSpec != "" {
+		if inj := faults.MustParse(dp.FaultSpec).Injector(dp.Seed); inj != nil {
+			mc.SetInjector(inj)
+		}
+	}
 
 	l3Hit := arch.Cycles(29)
 	if dp.SGX {

@@ -1,0 +1,132 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// This file is the runner's failure policy: per-attempt deadlines,
+// bounded retries with a deterministic backoff schedule, and stall
+// detection. It is the one place in the repo where wall-clock time is
+// legitimate — it schedules and polices *host* work (trials that hang,
+// crash, or flake), never simulated time, which stays in arch.Cycles
+// inside each trial's private machine. Determinism is preserved where
+// it matters: which attempt succeeds and what error a trial settles
+// with are functions of the trial and the policy, not of scheduling.
+
+// ErrStalled reports a trial that exceeded its per-attempt deadline.
+// The attempt's goroutine is abandoned, not killed (Go cannot preempt
+// it); a late result from an abandoned attempt is discarded.
+var ErrStalled = errors.New("trial stalled past deadline")
+
+// Policy bounds how trials fail. The zero value reproduces the bare
+// pool exactly: no deadline, no retries.
+type Policy struct {
+	// Workers caps concurrent trials; <= 0 selects GOMAXPROCS.
+	Workers int
+	// Timeout is the per-attempt deadline; 0 disables stall detection.
+	Timeout time.Duration
+	// Retries is how many extra attempts a failed trial gets; an
+	// attempt's failure (error, panic, or stall) consumes one.
+	Retries int
+	// Backoff, when non-nil, returns the pause before retry attempt n
+	// (n = 2 for the first retry). The schedule is a pure function of
+	// the attempt number — deterministic by construction.
+	Backoff func(attempt int) time.Duration
+}
+
+// ExpBackoff returns the standard deterministic backoff schedule:
+// base before the first retry, doubling per retry, capped at 32×base.
+// No jitter — the retry cadence must be reproducible, and the trials
+// are local work, not a shared service needing decorrelation.
+func ExpBackoff(base time.Duration) func(int) time.Duration {
+	return func(attempt int) time.Duration {
+		shift := attempt - 2
+		if shift < 0 {
+			shift = 0
+		}
+		if shift > 5 {
+			shift = 5
+		}
+		return base << shift
+	}
+}
+
+// RunAllPolicy is RunAllFunc under a failure policy: each trial gets
+// 1+Retries attempts, each attempt bounded by Timeout, with Backoff
+// pauses between attempts. Results and errors stay index-aligned and
+// onDone still fires exactly once per trial slot as it settles.
+func RunAllPolicy(ctx context.Context, trials []Trial, pol Policy, onDone func(i int, result any, err error)) ([]any, []error) {
+	return runPool(ctx, trials, pol, onDone)
+}
+
+// runAttempts drives one trial through the policy's attempt budget and
+// returns its settled result.
+func runAttempts(ctx context.Context, t Trial, i int, pol Policy) (any, error) {
+	var last error
+	made := 0
+	for attempt := 1; attempt <= 1+pol.Retries; attempt++ {
+		if attempt > 1 && pol.Backoff != nil {
+			sleepCtx(ctx, pol.Backoff(attempt))
+		}
+		if err := ctx.Err(); err != nil {
+			// Cancelled between attempts: settle with the cancellation, not
+			// the stale attempt error — resume will re-run the trial anyway.
+			return nil, &TrialError{Index: i, Err: err, Attempts: made}
+		}
+		made++
+		res, err := runDeadline(t, i, pol.Timeout)
+		if err == nil {
+			return res, nil
+		}
+		last = err
+	}
+	var te *TrialError
+	if errors.As(last, &te) {
+		te.Attempts = made
+	}
+	return nil, last
+}
+
+// runDeadline executes one attempt, bounded by d when d > 0. The
+// attempt runs on its own goroutine so a stall can be abandoned; a
+// stalled attempt keeps running until it returns on its own (injected
+// stalls expire; organic ones hold their goroutine, which is the honest
+// cost of no preemption) and its late result is dropped.
+func runDeadline(t Trial, i int, d time.Duration) (any, error) {
+	if d <= 0 {
+		return runOne(t, i)
+	}
+	type settled struct {
+		res any
+		err error
+	}
+	ch := make(chan settled, 1)
+	go func() {
+		res, err := runOne(t, i)
+		ch <- settled{res, err}
+	}()
+	timer := time.NewTimer(d) //metalint:allow wallclock per-attempt deadline polices host work, not simulated time
+	defer timer.Stop()
+	select {
+	case s := <-ch:
+		return s.res, s.err
+	case <-timer.C:
+		return nil, &TrialError{Index: i, Err: fmt.Errorf("%w (%v)", ErrStalled, d)}
+	}
+}
+
+// sleepCtx pauses for d or until ctx is cancelled, whichever is first.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	timer := time.NewTimer(d) //metalint:allow wallclock retry backoff paces host work between attempts
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+	case <-timer.C:
+	}
+}

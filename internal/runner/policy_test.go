@@ -1,0 +1,156 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPolicyRetriesRecover: a trial that fails its first attempts
+// succeeds within the retry budget, and the recovery is invisible in
+// the result.
+func TestPolicyRetriesRecover(t *testing.T) {
+	calls := 0
+	trials := []Trial{func() (any, error) {
+		calls++
+		if calls < 3 {
+			return nil, fmt.Errorf("flake %d", calls)
+		}
+		return "ok", nil
+	}}
+	res, errs := RunAllPolicy(context.Background(), trials, Policy{Workers: 1, Retries: 2}, nil)
+	if errs[0] != nil || res[0] != "ok" || calls != 3 {
+		t.Fatalf("res=%v err=%v calls=%d", res[0], errs[0], calls)
+	}
+}
+
+// TestPolicyRetriesExhausted: the settled error is the last attempt's,
+// with the attempt count recorded out-of-band.
+func TestPolicyRetriesExhausted(t *testing.T) {
+	trials := []Trial{func() (any, error) { return nil, errors.New("always") }}
+	_, errs := RunAllPolicy(context.Background(), trials, Policy{Workers: 1, Retries: 2}, nil)
+	var te *TrialError
+	if !errors.As(errs[0], &te) {
+		t.Fatalf("err = %v", errs[0])
+	}
+	if te.Attempts != 3 {
+		t.Errorf("attempts = %d, want 3", te.Attempts)
+	}
+	if got := te.Error(); got != "trial 0: always" {
+		t.Errorf("error string carries retry state: %q", got)
+	}
+}
+
+// TestPolicyRetriesPanic: panics consume attempts like errors.
+func TestPolicyRetriesPanic(t *testing.T) {
+	calls := 0
+	trials := []Trial{func() (any, error) {
+		calls++
+		if calls == 1 {
+			panic("once")
+		}
+		return calls, nil
+	}}
+	res, errs := RunAllPolicy(context.Background(), trials, Policy{Workers: 1, Retries: 1}, nil)
+	if errs[0] != nil || res[0] != 2 {
+		t.Fatalf("res=%v err=%v", res[0], errs[0])
+	}
+}
+
+// TestPolicyTimeoutStall: a stalled trial settles as ErrStalled instead
+// of hanging the pool, and a retry can recover it.
+func TestPolicyTimeoutStall(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	// The stalled attempt's goroutine is abandoned, not killed, so it
+	// races the retry for the counter unless it is atomic.
+	var calls atomic.Int32
+	trials := []Trial{func() (any, error) {
+		if calls.Add(1) == 1 {
+			<-release // stalls until test cleanup
+		}
+		return "ok", nil
+	}}
+	pol := Policy{Workers: 1, Timeout: 20 * time.Millisecond, Retries: 1}
+	res, errs := RunAllPolicy(context.Background(), trials, pol, nil)
+	if errs[0] != nil || res[0] != "ok" {
+		t.Fatalf("res=%v err=%v", res[0], errs[0])
+	}
+
+	// Without retries the stall is the settled error.
+	release2 := make(chan struct{})
+	defer close(release2)
+	trials = []Trial{func() (any, error) { <-release2; return nil, nil }}
+	_, errs = RunAllPolicy(context.Background(), trials, Policy{Workers: 1, Timeout: 20 * time.Millisecond}, nil)
+	if !errors.Is(errs[0], ErrStalled) {
+		t.Fatalf("err = %v, want ErrStalled", errs[0])
+	}
+}
+
+// TestPolicyBackoffCancellation: a context cancelled during backoff
+// settles promptly with the cancellation.
+func TestPolicyBackoffCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	trials := []Trial{func() (any, error) {
+		cancel()
+		return nil, errors.New("fail then wait")
+	}}
+	pol := Policy{Workers: 1, Retries: 3, Backoff: func(int) time.Duration { return time.Hour }}
+	done := make(chan []error, 1)
+	go func() {
+		_, errs := RunAllPolicy(ctx, trials, pol, nil)
+		done <- errs
+	}()
+	select {
+	case errs := <-done:
+		if !errors.Is(errs[0], context.Canceled) {
+			t.Fatalf("err = %v, want Canceled", errs[0])
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("backoff ignored cancellation")
+	}
+}
+
+// TestExpBackoffSchedule pins the deterministic schedule.
+func TestExpBackoffSchedule(t *testing.T) {
+	b := ExpBackoff(10 * time.Millisecond)
+	want := []time.Duration{
+		10 * time.Millisecond,  // attempt 2 (first retry)
+		20 * time.Millisecond,  // attempt 3
+		40 * time.Millisecond,  // attempt 4
+		80 * time.Millisecond,  // attempt 5
+		160 * time.Millisecond, // attempt 6
+		320 * time.Millisecond, // attempt 7 (cap)
+		320 * time.Millisecond, // attempt 8 (capped)
+	}
+	for i, w := range want {
+		if got := b(i + 2); got != w {
+			t.Errorf("backoff(attempt %d) = %v, want %v", i+2, got, w)
+		}
+	}
+}
+
+// TestZeroPolicyMatchesRunAll: the zero policy reproduces the bare
+// pool's behaviour exactly.
+func TestZeroPolicyMatchesRunAll(t *testing.T) {
+	trials := []Trial{
+		func() (any, error) { return 1, nil },
+		func() (any, error) { return nil, errors.New("bad") },
+		func() (any, error) { panic("boom") },
+	}
+	ra, ea := RunAll(context.Background(), trials, 2)
+	rp, ep := RunAllPolicy(context.Background(), trials, Policy{Workers: 2}, nil)
+	for i := range trials {
+		if ra[i] != rp[i] {
+			t.Errorf("trial %d results differ: %v vs %v", i, ra[i], rp[i])
+		}
+		switch {
+		case ea[i] == nil && ep[i] == nil:
+		case ea[i] == nil || ep[i] == nil || ea[i].Error() != ep[i].Error():
+			t.Errorf("trial %d errors differ: %v vs %v", i, ea[i], ep[i])
+		}
+	}
+}

@@ -41,6 +41,10 @@ type TrialError struct {
 	// out of Error() so error strings stay deterministic (stack dumps
 	// embed addresses).
 	Stack []byte
+	// Attempts is how many attempts the trial consumed before settling
+	// with this error (0 when it never started). Like Stack it stays out
+	// of Error(): retry counts are reporting metadata, not identity.
+	Attempts int
 }
 
 func (e *TrialError) Error() string { return fmt.Sprintf("trial %d: %v", e.Index, e.Err) }
@@ -71,11 +75,19 @@ func RunAll(ctx context.Context, trials []Trial, workers int) ([]any, []error) {
 // its own, but it runs on the worker's goroutine, so a slow callback
 // stalls that worker.
 func RunAllFunc(ctx context.Context, trials []Trial, workers int, onDone func(i int, result any, err error)) ([]any, []error) {
+	return runPool(ctx, trials, Policy{Workers: workers}, onDone)
+}
+
+// runPool is the one worker-pool implementation behind RunAll,
+// RunAllFunc, and RunAllPolicy. The zero policy reproduces the bare
+// pool: a single attempt per trial, no deadline.
+func runPool(ctx context.Context, trials []Trial, pol Policy, onDone func(i int, result any, err error)) ([]any, []error) {
 	results := make([]any, len(trials))
 	errs := make([]error, len(trials))
 	if len(trials) == 0 {
 		return results, errs
 	}
+	workers := pol.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -113,7 +125,7 @@ func RunAllFunc(ctx context.Context, trials []Trial, workers int, onDone func(i 
 				if err := ctx.Err(); err != nil {
 					errs[i] = &TrialError{Index: i, Err: err}
 				} else {
-					results[i], errs[i] = runOne(trials[i], i)
+					results[i], errs[i] = runAttempts(ctx, trials[i], i, pol)
 				}
 				report(i)
 			}

@@ -93,6 +93,10 @@ type MetaCache interface {
 	Insert(b arch.BlockID, dirty bool) (cache.Eviction, bool)
 	Contains(b arch.BlockID) bool
 	HitLatency() arch.Cycles
+	// Invalidate drops b without writeback (fault injection: the on-chip
+	// copy is discarded so the next access must reload — and re-verify —
+	// the block from memory).
+	Invalidate(b arch.BlockID) (wasPresent, wasDirty bool)
 }
 
 // mirageMeta adapts a MIRAGE cache to the MetaCache contract.
@@ -112,6 +116,8 @@ func (m *mirageMeta) Contains(b arch.BlockID) bool { return m.c.Contains(b) }
 
 func (m *mirageMeta) HitLatency() arch.Cycles { return m.hit }
 
+func (m *mirageMeta) Invalidate(b arch.BlockID) (bool, bool) { return m.c.Invalidate(b) }
+
 // Stats aggregates controller-level events.
 type Stats struct {
 	Reads             uint64
@@ -126,6 +132,11 @@ type Stats struct {
 	TamperDetections  uint64
 	CounterWritebacks uint64
 	NodeWritebacks    uint64
+	// FaultsInjected counts corruptions applied by an attached Injector
+	// (one per corrupted block, so a row fault counts its whole blast
+	// radius). Tests compare it against TamperDetections to prove no
+	// injected corruption escaped verification.
+	FaultsInjected uint64
 }
 
 // Controller is the secure memory controller. Not safe for concurrent use.
@@ -140,6 +151,13 @@ type Controller struct {
 	store   map[arch.BlockID]crypto.Block // ciphertext backing store
 	macs    map[arch.BlockID]uint64
 	stats   Stats
+
+	// Fault injection (nil in honest runs): inj is consulted before every
+	// serviced access with the 1-based access ordinal, and the faults it
+	// returns corrupt off-chip state before the access proceeds.
+	inj       Injector
+	accessSeq uint64
+	faultLog  []InjectedFault
 
 	// Tree-overflow fallout discovered during eviction handling, surfaced
 	// in the next Write report.
@@ -275,6 +293,7 @@ func (c *Controller) Read(now arch.Cycles, b arch.BlockID) (crypto.Block, Report
 	start := now
 	rep := Report{}
 	c.stats.Reads++
+	c.preAccess(b, false)
 	if c.cfg.Plain {
 		now += c.cfg.QueueDelay
 		now = c.dram.Read(now, b)
@@ -321,6 +340,7 @@ func (c *Controller) Write(now arch.Cycles, b arch.BlockID, plain crypto.Block) 
 	start := now
 	rep := Report{}
 	c.stats.Writes++
+	c.preAccess(b, true)
 	if c.cfg.Plain {
 		now += c.cfg.QueueDelay
 		c.store[b] = plain

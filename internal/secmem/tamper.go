@@ -25,6 +25,13 @@ func (c *Controller) TamperFlipBit(b arch.BlockID, bit int) {
 	c.store[b] = ct
 }
 
+// TamperMAC flips one bit of a block's stored MAC in memory (the
+// authentication tag itself is off-chip state an attacker can corrupt).
+func (c *Controller) TamperMAC(b arch.BlockID, bit int) {
+	c.ensureInit(b)
+	c.macs[b] ^= 1 << (bit % 64)
+}
+
 // TamperSplice swaps the off-chip contents (ciphertext and MAC) of two
 // blocks (data splicing).
 func (c *Controller) TamperSplice(b1, b2 arch.BlockID) {

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"metaleak/internal/arch"
@@ -66,10 +67,34 @@ func EncodeEvents(events []sim.TraceEvent) []byte {
 	return buf
 }
 
+// DecodeError locates a decode failure precisely in the input: Offset
+// is the absolute byte offset at which decoding stopped, and Record is
+// the index of the event being decoded when it stopped (-1 when the
+// failure precedes the event stream — magic, count — or follows it —
+// trailing bytes). A tool that hits one can report which record of an
+// archived trace is damaged and how many bytes of it survive, instead
+// of a bare "malformed input".
+type DecodeError struct {
+	Offset int64 // byte offset where decoding stopped
+	Record int   // event index being decoded, or -1 outside the stream
+	Err    error // what went wrong there
+}
+
+func (e *DecodeError) Error() string {
+	if e.Record < 0 {
+		return fmt.Sprintf("trace: byte %d: %v", e.Offset, e.Err)
+	}
+	return fmt.Sprintf("trace: record %d (byte %d): %v", e.Record, e.Offset, e.Err)
+}
+
+func (e *DecodeError) Unwrap() error { return e.Err }
+
 // decodeState walks the buffer with explicit error tracking so each
-// field read stays a one-liner.
+// field read stays a one-liner; off tracks the absolute input offset
+// for error reporting.
 type decodeState struct {
 	buf []byte
+	off int64
 	err error
 }
 
@@ -79,10 +104,11 @@ func (d *decodeState) uvarint() uint64 {
 	}
 	v, n := binary.Uvarint(d.buf)
 	if n <= 0 {
-		d.err = fmt.Errorf("trace: truncated or malformed uvarint")
+		d.err = errors.New("truncated or malformed uvarint")
 		return 0
 	}
 	d.buf = d.buf[n:]
+	d.off += int64(n)
 	return v
 }
 
@@ -92,10 +118,11 @@ func (d *decodeState) varint() int64 {
 	}
 	v, n := binary.Varint(d.buf)
 	if n <= 0 {
-		d.err = fmt.Errorf("trace: truncated or malformed varint")
+		d.err = errors.New("truncated or malformed varint")
 		return 0
 	}
 	d.buf = d.buf[n:]
+	d.off += int64(n)
 	return v
 }
 
@@ -104,34 +131,39 @@ func (d *decodeState) byte() byte {
 		return 0
 	}
 	if len(d.buf) == 0 {
-		d.err = fmt.Errorf("trace: truncated event")
+		d.err = errors.New("truncated event")
 		return 0
 	}
 	b := d.buf[0]
 	d.buf = d.buf[1:]
+	d.off++
 	return b
 }
 
 // DecodeEvents parses a binary trace produced by EncodeEvents. It
-// rejects malformed input with an error, never a panic, and bounds its
+// rejects malformed input with a *DecodeError — locating the damage by
+// byte offset and record index, never panicking — and bounds its
 // allocation by the input size rather than the claimed event count.
 func DecodeEvents(data []byte) ([]sim.TraceEvent, error) {
 	if len(data) < len(codecMagic) || string(data[:len(codecMagic)]) != codecMagic {
-		return nil, fmt.Errorf("trace: bad magic (not a %s trace)", codecMagic)
+		return nil, &DecodeError{Record: -1,
+			Err: fmt.Errorf("bad magic (not a %s trace)", codecMagic)}
 	}
-	d := &decodeState{buf: data[len(codecMagic):]}
+	d := &decodeState{buf: data[len(codecMagic):], off: int64(len(codecMagic))}
 	count := d.uvarint()
 	if d.err != nil {
-		return nil, d.err
+		return nil, &DecodeError{Offset: d.off, Record: -1, Err: d.err}
 	}
 	// Each event occupies at least 8 bytes (flags + 7 one-byte varints);
 	// a count beyond that is lying about the payload.
 	if count > uint64(len(d.buf))/8 {
-		return nil, fmt.Errorf("trace: claimed %d events in %d payload bytes", count, len(d.buf))
+		return nil, &DecodeError{Offset: d.off, Record: -1,
+			Err: fmt.Errorf("claimed %d events in %d payload bytes", count, len(d.buf))}
 	}
 	events := make([]sim.TraceEvent, 0, count)
 	var prev sim.TraceEvent
 	for i := uint64(0); i < count; i++ {
+		start := d.off
 		flags := d.byte()
 		ev := sim.TraceEvent{
 			Write:    flags&flagWrite != 0,
@@ -145,13 +177,15 @@ func DecodeEvents(data []byte) ([]sim.TraceEvent, error) {
 		ev.Path = secmem.Path(d.varint())
 		ev.TreeLevels = int(d.varint())
 		if d.err != nil {
-			return nil, fmt.Errorf("trace: event %d: %w", i, d.err)
+			return nil, &DecodeError{Offset: start, Record: int(i),
+				Err: fmt.Errorf("%w (%d of %d events decoded)", d.err, i, count)}
 		}
 		events = append(events, ev)
 		prev = ev
 	}
 	if len(d.buf) != 0 {
-		return nil, fmt.Errorf("trace: %d trailing bytes after %d events", len(d.buf), count)
+		return nil, &DecodeError{Offset: d.off, Record: -1,
+			Err: fmt.Errorf("%d trailing bytes after %d events", len(d.buf), count)}
 	}
 	return events, nil
 }

@@ -1,8 +1,10 @@
 package trace
 
 import (
+	"errors"
 	"math"
 	"reflect"
+	"strings"
 	"testing"
 
 	"metaleak/internal/arch"
@@ -89,6 +91,52 @@ func TestDecodeRejectsMalformed(t *testing.T) {
 	}
 }
 
+// TestDecodeErrorLocation: decode failures are *DecodeError values that
+// locate the damage — byte offset and record index — so a tool can say
+// which record of an archive is torn, not just that something is.
+func TestDecodeErrorLocation(t *testing.T) {
+	valid := EncodeEvents(sampleEvents(8))
+
+	// Truncation mid-stream: the error names a record within the count
+	// and an offset inside the surviving bytes.
+	trunc := valid[:len(valid)-3]
+	_, err := DecodeEvents(trunc)
+	var de *DecodeError
+	if !errors.As(err, &de) {
+		t.Fatalf("truncated trace error is %T (%v), want *DecodeError", err, err)
+	}
+	if de.Record < 0 || de.Record >= 8 {
+		t.Errorf("truncated trace record = %d, want within [0,8)", de.Record)
+	}
+	if de.Offset <= int64(len(codecMagic)) || de.Offset > int64(len(trunc)) {
+		t.Errorf("truncated trace offset = %d, want within (%d,%d]", de.Offset, len(codecMagic), len(trunc))
+	}
+	if !strings.Contains(de.Error(), "record") || !strings.Contains(de.Error(), "byte") {
+		t.Errorf("error does not locate the damage: %q", de.Error())
+	}
+
+	// Failures outside the event stream report Record -1.
+	for name, data := range map[string][]byte{
+		"bad magic": []byte("XXXX\x00"),
+		"trailing":  append(append([]byte{}, valid...), 0xfe),
+		"no count":  []byte(codecMagic),
+	} {
+		_, err := DecodeEvents(data)
+		if !errors.As(err, &de) {
+			t.Fatalf("%s: error is %T (%v), want *DecodeError", name, err, err)
+		}
+		if de.Record != -1 {
+			t.Errorf("%s: record = %d, want -1", name, de.Record)
+		}
+	}
+
+	// Trailing-byte damage is located at the end of the valid stream.
+	_, err = DecodeEvents(append(append([]byte{}, valid...), 0xfe, 0xfe))
+	if errors.As(err, &de) && de.Offset != int64(len(valid)) {
+		t.Errorf("trailing damage offset = %d, want %d", de.Offset, len(valid))
+	}
+}
+
 func TestRecorderBinaryRoundTrip(t *testing.T) {
 	r := New(64)
 	hook := r.Hook()
@@ -130,6 +178,14 @@ func FuzzTraceRoundTrip(f *testing.F) {
 	f.Add(EncodeEvents([]sim.TraceEvent{{Seq: math.MaxUint64, Core: -1, Path: -7, TreeLevels: -1}}))
 	f.Add([]byte(codecMagic))
 	f.Add([]byte("not a trace at all"))
+	// Truncation seeds: real traces cut at every interesting boundary —
+	// mid-magic, mid-count, mid-record, and one byte short — so the
+	// corpus explores the torn-file shapes the structured DecodeError
+	// exists to locate.
+	whole := EncodeEvents(sampleEvents(50))
+	for _, cut := range []int{2, len(codecMagic), len(codecMagic) + 1, 9, len(whole) / 2, len(whole) - 1} {
+		f.Add(append([]byte{}, whole[:cut]...))
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		events, err := DecodeEvents(data)
