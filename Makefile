@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check build vet metalint test fuzz-smoke bench
+.PHONY: check build vet metalint test dispatch-race fuzz-smoke bench
 
-check: vet metalint test
+check: vet metalint test dispatch-race
 
 build:
 	$(GO) build ./...
@@ -20,10 +20,17 @@ metalint:
 test:
 	$(GO) test -race ./...
 
-# Ten seconds of coverage-guided fuzzing on the trace codec: cheap
-# enough for CI, long enough to catch a decoder regression.
+# The distributed-dispatch property tests, re-run uncached so the
+# byte-identity and revocation invariants are exercised on every check
+# even when the surrounding packages are unchanged.
+dispatch-race:
+	$(GO) test -race -count=1 -run Dispatch ./internal/dispatch ./internal/experiments ./cmd/metaleak
+
+# Ten seconds of coverage-guided fuzzing per parser-shaped surface:
+# cheap enough for CI, long enough to catch a decoder regression.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzTraceRoundTrip -fuzztime=10s ./internal/trace
+	$(GO) test -run='^$$' -fuzz=FuzzProtocolRoundTrip -fuzztime=10s ./internal/dispatch
 
 # Sequential vs GOMAXPROCS-parallel wall-clock over the full experiment
 # registry: the speedup the spec/trial/merge harness buys on this

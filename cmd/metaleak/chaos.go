@@ -11,10 +11,11 @@ import (
 
 // chaosCmd is the fault-engine self-test: it runs the machine-level
 // tamper-detection matrix (every secure config × every metadata class ×
-// both access directions must detect its injected corruption) and the
+// both access directions must detect its injected corruption), the
 // harness-level sweep invariants (recovery, quarantine, crash/resume
-// byte-identity), and exits non-zero on any violation. CI runs it as
-// the chaos smoke gate.
+// byte-identity), and the distributed-dispatch invariants (worker-count
+// identity, drop/re-lease recovery, drop quarantine), and exits
+// non-zero on any violation. CI runs it as the chaos smoke gate.
 func chaosCmd(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("chaos", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 0xC4A05, "chaos seed (fault plans and machines derive from it)")
@@ -46,6 +47,11 @@ func chaosCmd(ctx context.Context, args []string) error {
 		return err
 	}
 	fmt.Println("harness sweep: recovery, quarantine, and crash/resume invariants hold")
+
+	if err := experiments.ChaosDispatch(ctx, *seed); err != nil {
+		return err
+	}
+	fmt.Println("dispatch sweep: identity, drop/re-lease, and drop-quarantine invariants hold")
 
 	if escapes > 0 {
 		return fmt.Errorf("chaos: %d injected corruptions escaped detection", escapes)

@@ -10,6 +10,8 @@
 //	                             [-noise 0,8000] [-seeds N] [-seed N] [-bits N]
 //	                             [-set Field=value]... [-checkpoint FILE]
 //	                             [-json|-long] [-par N]
+//	                             [-workers N] [-listen ADDR] [-lease-timeout D]
+//	metaleak worker -connect ADDR [-id NAME] [-hb D]
 //	metaleak trace jpeg|rsa      [-csv] [-bin FILE]
 //	metaleak trace replay FILE   [-csv] [-bin OUT]
 //	metaleak chaos               [-seed N] [-v]
@@ -26,7 +28,14 @@
 // detected, harness: entries fail trials and tear checkpoints),
 // -retries N (failed cells retry, then quarantine), and
 // -trial-timeout D (per-attempt deadline); chaos self-tests the fault
-// engine end to end. Experiment IDs follow the paper: table1, fig6, fig7, fig8,
+// engine end to end. sweep's -workers N shards the grid over N local
+// worker processes (work-stealing leases over a private unix socket);
+// -listen ADDR additionally accepts `metaleak worker -connect ADDR`
+// processes from other machines. Distribution is pure scheduling:
+// output stays byte-identical to -par runs, including when a worker is
+// killed mid-run (its leased cells revoke after -lease-timeout or on
+// disconnect and re-deal against the -retries budget).
+// Experiment IDs follow the paper: table1, fig6, fig7, fig8,
 // fig11, fig12, fig14, fig15, fig15c, fig16, fig17, fig18; the
 // design-space ablations ablctr, abltree, ablmeta, ablminor, ablnoise,
 // ablsec; and the §IX defence evaluations defiso, defrand, defladder.
@@ -102,6 +111,8 @@ func run(ctx context.Context, args []string) error {
 		return reportCmd(ctx, args[1:])
 	case "sweep":
 		return sweepCmd(ctx, args[1:])
+	case "worker":
+		return workerCmd(ctx, args[1:])
 	case "trace":
 		return traceCmd(args[1:])
 	case "chaos":
@@ -246,6 +257,9 @@ func sweepCmd(ctx context.Context, args []string) error {
 	long := fs.Bool("long", false, "emit long-format CSV: one (cell, metric, value) row per measurement")
 	par := fs.Int("par", 0, "max cells in flight (0 = GOMAXPROCS)")
 	checkpoint := fs.String("checkpoint", "", "persist completed cells to FILE and resume from it on rerun")
+	workers := fs.Int("workers", 0, "distributed: spawn N local `metaleak worker` processes and deal cells to them over a private socket")
+	listen := fs.String("listen", "", "distributed: accept remote `metaleak worker -connect` processes on ADDR (host:port, unix:PATH, or /path)")
+	leaseTimeout := fs.Duration("lease-timeout", 10*time.Second, "distributed: silence window after which a worker's leased cells revoke and re-deal")
 	faultSpec := fs.String("faults", "", "fault plan (DESIGN.md §8): machine: entries corrupt metadata in every cell's machine, harness: entries fail trials and tear checkpoints")
 	retries := fs.Int("retries", 0, "extra attempts for a failed cell before quarantine")
 	trialTimeout := fs.Duration("trial-timeout", 0, "per-attempt cell deadline (0 = none)")
@@ -287,10 +301,19 @@ func sweepCmd(ctx context.Context, args []string) error {
 	if len(axes.Configs) == 0 || len(axes.MinorBits) == 0 || len(axes.MetaKB) == 0 || len(axes.Noise) == 0 {
 		return fmt.Errorf("sweep: every axis needs at least one value")
 	}
-	if err := applySetFlags(&axes, sets, explicitFlags(fs)); err != nil {
+	explicit := explicitFlags(fs)
+	if err := applySetFlags(&axes, sets, explicit); err != nil {
 		return err
 	}
+	distributed := *workers > 0 || *listen != ""
+	if distributed && explicit["par"] {
+		return fmt.Errorf("sweep: -par is the single-process pool width; with -workers/-listen concurrency is the attached worker count, drop -par")
+	}
+	if !distributed && (explicit["lease-timeout"]) {
+		return fmt.Errorf("sweep: -lease-timeout only applies to distributed runs; add -workers N or -listen ADDR")
+	}
 	var harness *faults.Harness
+	var harnessSpec string
 	if *faultSpec != "" {
 		plan, err := faults.Parse(*faultSpec)
 		if err != nil {
@@ -307,7 +330,11 @@ func sweepCmd(ctx context.Context, args []string) error {
 			}
 			axes.Set = append(axes.Set, "FaultSpec="+plan.MachineSpec())
 		}
+		if plan.HasDisconnect() && !distributed {
+			return fmt.Errorf("sweep: harness:disconnect faults drop dispatch workers; they need a distributed run (-workers N or -listen ADDR)")
+		}
 		harness = plan.NewHarness()
+		harnessSpec = plan.HarnessSpec()
 	}
 	sweepOpts := experiments.SweepOptions{
 		Workers:    *par,
@@ -323,7 +350,13 @@ func sweepCmd(ctx context.Context, args []string) error {
 		sweepOpts.Backoff = runner.ExpBackoff(50 * time.Millisecond)
 	}
 
-	rows, err := experiments.SweepOpts(ctx, axes, sweepOpts)
+	var rows []experiments.SweepRow
+	if distributed {
+		dopts := experiments.DispatchOptions{LeaseTimeout: *leaseTimeout, HarnessSpec: harnessSpec}
+		rows, err = sweepDistributed(ctx, axes, sweepOpts, dopts, *workers, *listen)
+	} else {
+		rows, err = experiments.SweepOpts(ctx, axes, sweepOpts)
+	}
 	if err != nil {
 		if (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) && len(rows) > 0 {
 			// Interrupted mid-grid: report the completed rows before
@@ -553,10 +586,15 @@ func usage() {
        metaleak sweep [-configs sct,ht,sgx] [-minor 6,7] [-meta 64,256] [-noise 0,8000]
                       [-seeds N] [-seed N] [-bits N] [-set Field=value]...
                       [-checkpoint FILE] [-json|-long] [-par N]
+                      [-workers N] [-listen ADDR] [-lease-timeout D]
+       metaleak worker -connect ADDR [-id NAME] [-hb D]
        metaleak trace jpeg|rsa [-csv] [-bin FILE]
        metaleak trace replay FILE [-csv] [-bin OUT]
        metaleak chaos [-seed N] [-v]
 
 run and sweep accept -faults SPEC (fault plan, DESIGN.md §8),
--retries N, and -trial-timeout D; chaos self-tests the fault engine.`)
+-retries N, and -trial-timeout D; chaos self-tests the fault engine.
+sweep -workers/-listen distributes cells across worker processes with
+byte-identical output (DESIGN.md §9); worker attaches this machine to
+a remote sweep coordinator.`)
 }

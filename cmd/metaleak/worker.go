@@ -1,0 +1,106 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"time"
+
+	"metaleak/internal/dispatch"
+	"metaleak/internal/experiments"
+)
+
+// This file is the CLI face of distributed sweeps: the `worker`
+// subcommand (one process pulling leased cells from a coordinator) and
+// the coordinator-side glue `sweep -workers N` / `sweep -listen ADDR`
+// uses to spawn and supervise local workers.
+
+// workerCmd attaches this process to a sweep coordinator: dial, hand
+// the job to the sweep session, then pull and run cells until drained.
+// It is started implicitly by `sweep -workers N` (over a private unix
+// socket) or explicitly on other machines against `sweep -listen`.
+func workerCmd(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("worker", flag.ContinueOnError)
+	connect := fs.String("connect", "", "coordinator address (host:port for TCP, unix:PATH or /path for a unix socket)")
+	id := fs.String("id", "", "worker name in coordinator logs (default w<pid>)")
+	hb := fs.Duration("hb", time.Second, "heartbeat interval (keep well under the coordinator's -lease-timeout)")
+	if _, err := parseInterleaved(fs, args); err != nil {
+		return err
+	}
+	if *connect == "" {
+		return fmt.Errorf("worker: -connect ADDR is required")
+	}
+	if *id == "" {
+		*id = fmt.Sprintf("w%d", os.Getpid())
+	}
+	conn, err := dispatch.Dial(*connect)
+	if err != nil {
+		return err
+	}
+	w := &dispatch.Worker{ID: *id, Heartbeat: *hb, Init: experiments.NewSweepSession}
+	return w.Run(ctx, conn)
+}
+
+// sweepDistributed runs the sweep through the dispatch coordinator:
+// listening on -listen for remote workers, spawning -workers local
+// worker processes (this binary re-invoked as `metaleak worker` over a
+// private unix socket), or both. With only local workers, all of them
+// exiting before the grid settles cancels the run instead of hanging
+// the coordinator forever.
+func sweepDistributed(ctx context.Context, axes experiments.SweepAxes, opts experiments.SweepOptions, dopts experiments.DispatchOptions, workers int, listen string) ([]experiments.SweepRow, error) {
+	var ln net.Listener
+	addr := listen
+	if listen != "" {
+		var err error
+		ln, err = dispatch.Listen(listen)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		dir, err := os.MkdirTemp("", "metaleak-dispatch-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		addr = filepath.Join(dir, "coord.sock")
+		ln, err = dispatch.Listen(addr)
+		if err != nil {
+			return nil, err
+		}
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var cmds []*exec.Cmd
+	if workers > 0 {
+		self, err := os.Executable()
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		// METALEAK_WORKER lets a test binary recognize the re-invocation
+		// (TestMain intercepts it); the production binary ignores it.
+		cmds, err = dispatch.SpawnLocal(ctx, workers, self,
+			[]string{"worker", "-connect", addr},
+			[]string{"METALEAK_WORKER=1"}, os.Stderr)
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		go func() {
+			for _, c := range cmds {
+				c.Wait()
+			}
+			if listen == "" {
+				// No remote workers can ever attach: a grid with work left
+				// and no workers would wait forever.
+				cancel()
+			}
+		}()
+	}
+	return experiments.SweepDispatch(ctx, axes, opts, dopts, ln)
+}

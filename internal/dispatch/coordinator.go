@@ -1,0 +1,462 @@
+package dispatch
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+)
+
+// This file is the coordinator: the single owner of a distributed run's
+// truth. All scheduling state — shards, leases, attempt budgets, settled
+// results — lives in one goroutine (the Run loop); connection readers
+// only ferry frames into its event channel, so there is no locking and
+// no order-dependence beyond the deterministic cell results themselves.
+//
+// Wall-clock time is legitimate here for the same reason it is in
+// runner.Policy: lease timeouts and heartbeats police *host* processes
+// that can crash or hang, never simulated time, which lives inside each
+// worker's private machines.
+
+// DisconnectErr is the attempt error recorded when a worker holding a
+// lease dies (connection lost or heartbeat silence). It is a fixed
+// string — worker names and timings must not leak into result rows, or
+// quarantined rows would differ run to run.
+const DisconnectErr = "worker disconnected mid-lease"
+
+// Options configures a Coordinator. The zero value is usable: a 10s
+// lease timeout and a single attempt per cell.
+type Options struct {
+	// LeaseTimeout is how long a worker may stay silent (no result, no
+	// heartbeat) before it is declared dead and its leases revoke;
+	// <= 0 selects 10s.
+	LeaseTimeout time.Duration
+	// MaxLeases is each cell's attempt budget: failed results and
+	// revoked leases both consume one; a cell that exhausts it settles
+	// as a failure. <= 0 selects 1.
+	MaxLeases int
+	// OnSettled, when non-nil, is called from the coordinator loop as
+	// each cell settles — in completion order, like the runner's onDone —
+	// so a caller can checkpoint incrementally.
+	OnSettled func(cell int, s Settled)
+	// Log, when non-nil, receives human-readable scheduling events
+	// (worker joins, deaths, steals). Results never depend on it.
+	Log func(format string, args ...any)
+}
+
+// Settled is one cell's final outcome.
+type Settled struct {
+	// Payload is the worker-computed result; nil when the cell failed.
+	Payload json.RawMessage
+	// Err is empty on success, otherwise every attempt's error joined
+	// with newlines (mirroring errors.Join) — lease-retry diagnostics
+	// keep every attempt, not just the last.
+	Err string
+	// Errs holds the per-attempt errors in attempt order, including the
+	// failed attempts behind an eventual success.
+	Errs []string
+	// Attempts is how many leases the cell consumed.
+	Attempts int
+}
+
+// Coordinator shards a grid of cells over attached workers.
+type Coordinator struct {
+	job   json.RawMessage
+	cells []int
+	opts  Options
+}
+
+// NewCoordinator builds a coordinator for the given opaque job spec and
+// the cell indices to run (typically 0..N-1 minus checkpointed cells).
+func NewCoordinator(job json.RawMessage, cells []int, opts Options) *Coordinator {
+	if opts.LeaseTimeout <= 0 {
+		opts.LeaseTimeout = 10 * time.Second
+	}
+	if opts.MaxLeases <= 0 {
+		opts.MaxLeases = 1
+	}
+	return &Coordinator{job: job, cells: cells, opts: opts}
+}
+
+// shard is one worker's deque of cell indices: leases pop from the
+// head, thieves take from the tail. A dead worker's shard stays in the
+// shard list, so its remaining cells are stolen like any others.
+type shard struct {
+	cells []int
+}
+
+// workerConn is the coordinator's view of one attached worker.
+type workerConn struct {
+	conn     net.Conn
+	id       string
+	shard    *shard
+	leased   []int
+	lastSeen time.Time
+	parked   bool // has an unanswered want
+	dead     bool
+}
+
+// cellState tracks one unsettled cell's attempt history.
+type cellState struct {
+	errs     []string
+	attempts int
+}
+
+// connEvent is what reader goroutines ferry to the Run loop.
+type connEvent struct {
+	c   *workerConn
+	f   Frame
+	err error // transport/protocol failure; the connection is dead
+}
+
+// Run accepts workers on ln and drives the grid to completion: every
+// cell settles (success, or failure after MaxLeases attempts) or ctx is
+// cancelled. It returns the settled cells keyed by index — on
+// cancellation the map holds whatever settled in time, alongside ctx's
+// error. The listener is closed on return.
+func (co *Coordinator) Run(ctx context.Context, ln net.Listener) (map[int]Settled, error) {
+	settled := make(map[int]Settled, len(co.cells))
+	if len(co.cells) == 0 {
+		ln.Close()
+		return settled, nil
+	}
+
+	events := make(chan connEvent, 64)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	defer func() {
+		close(done)
+		ln.Close()
+		wg.Wait()
+	}()
+
+	// Accept loop: one reader goroutine per connection. Readers never
+	// touch coordinator state — they forward frames and die with their
+	// connection (or when the run ends).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			wc := &workerConn{conn: conn}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer conn.Close()
+				br := bufio.NewReader(conn)
+				for {
+					f, err := ReadFrame(br)
+					select {
+					case events <- connEvent{c: wc, f: f, err: err}:
+					case <-done:
+						return
+					}
+					if err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+
+	st := &coordState{
+		co:      co,
+		settled: settled,
+		states:  make(map[int]*cellState),
+		workers: make(map[*workerConn]bool),
+	}
+	// Seed one shard holding the whole grid; the first worker adopts
+	// work by stealing from it like everyone else.
+	seed := &shard{cells: append([]int(nil), co.cells...)}
+	st.shards = append(st.shards, seed)
+
+	sweep := co.opts.LeaseTimeout / 4
+	if sweep < 10*time.Millisecond {
+		sweep = 10 * time.Millisecond
+	}
+	ticker := time.NewTicker(sweep) //metalint:allow wallclock lease timeouts police host worker processes, not simulated time
+	defer ticker.Stop()
+
+	for len(st.settled) < len(co.cells) {
+		select {
+		case <-ctx.Done():
+			st.shutdown()
+			return settled, ctx.Err()
+		case ev := <-events:
+			st.handle(ev)
+		case <-ticker.C:
+			st.reapSilent()
+		}
+	}
+	st.shutdown()
+	return settled, nil
+}
+
+// coordState is the Run loop's private scheduling state.
+type coordState struct {
+	co      *Coordinator
+	shards  []*shard
+	settled map[int]Settled
+	states  map[int]*cellState
+	workers map[*workerConn]bool
+	parked  []*workerConn
+}
+
+func (st *coordState) logf(format string, args ...any) {
+	if st.co.opts.Log != nil {
+		st.co.opts.Log(format, args...)
+	}
+}
+
+// handle dispatches one connection event.
+func (st *coordState) handle(ev connEvent) {
+	if ev.err != nil {
+		st.dropWorker(ev.c, "connection lost")
+		return
+	}
+	ev.c.lastSeen = time.Now() //metalint:allow wallclock liveness bookkeeping for host worker processes
+	switch ev.f.Type {
+	case FrameHello:
+		if ev.f.Hello.Proto != ProtoVersion {
+			st.logf("dispatch: refusing worker %s: protocol %d, want %d", ev.f.Hello.Worker, ev.f.Hello.Proto, ProtoVersion)
+			st.send(ev.c, Frame{Type: FrameFail, Fail: &Fail{
+				Reason: fmt.Sprintf("protocol version %d, coordinator speaks %d", ev.f.Hello.Proto, ProtoVersion)}})
+			ev.c.conn.Close()
+			return
+		}
+		ev.c.id = ev.f.Hello.Worker
+		st.workers[ev.c] = true
+		st.send(ev.c, Frame{Type: FrameJob, Job: &Job{Spec: st.co.job, Cells: len(st.co.cells)}})
+	case FrameWant:
+		if !st.known(ev.c) {
+			return
+		}
+		st.grant(ev.c)
+	case FrameResult:
+		if !st.known(ev.c) {
+			return
+		}
+		st.result(ev.c, *ev.f.Result)
+	case FrameHeartbeat:
+		// lastSeen already refreshed above.
+	case FrameFail:
+		st.logf("dispatch: worker %s failed: %s", ev.c.id, ev.f.Fail.Reason)
+		st.dropWorker(ev.c, ev.f.Fail.Reason)
+	default:
+		// A worker must not send coordinator-only frames.
+		st.dropWorker(ev.c, fmt.Sprintf("protocol violation: unexpected %q frame", ev.f.Type))
+	}
+}
+
+// known filters frames from connections that never completed the
+// handshake (or were already dropped).
+func (st *coordState) known(wc *workerConn) bool { return st.workers[wc] && !wc.dead }
+
+// send writes one frame to a worker, under a short deadline so a wedged
+// peer cannot stall the whole coordinator; a write failure drops the
+// worker through the usual revocation path.
+func (st *coordState) send(wc *workerConn, f Frame) bool {
+	wc.conn.SetWriteDeadline(time.Now().Add(5 * time.Second)) //metalint:allow wallclock write deadline guards against a wedged host process
+	if err := WriteFrame(wc.conn, f); err != nil {
+		st.dropWorker(wc, "write failed")
+		return false
+	}
+	return true
+}
+
+// grant answers a want: lease the next cell from the worker's shard
+// (stealing a shard first if it has none), or park the want until
+// revocation frees work.
+func (st *coordState) grant(wc *workerConn) {
+	cell, ok := st.take(wc)
+	if !ok {
+		if !wc.parked {
+			wc.parked = true
+			st.parked = append(st.parked, wc)
+		}
+		return
+	}
+	wc.leased = append(wc.leased, cell)
+	st.send(wc, Frame{Type: FrameLease, Lease: &Lease{Cells: []int{cell}}})
+}
+
+// take pops the next cell for the worker: the head of its own shard, or
+// — when that is empty — after stealing half the tail of the largest
+// remaining shard.
+func (st *coordState) take(wc *workerConn) (int, bool) {
+	if wc.shard == nil {
+		wc.shard = &shard{}
+		st.shards = append(st.shards, wc.shard)
+	}
+	if len(wc.shard.cells) == 0 {
+		victim := st.largestShard(wc.shard)
+		if victim == nil {
+			return 0, false
+		}
+		k := (len(victim.cells) + 1) / 2
+		stolen := victim.cells[len(victim.cells)-k:]
+		wc.shard.cells = append(wc.shard.cells, stolen...)
+		victim.cells = victim.cells[:len(victim.cells)-k]
+		st.logf("dispatch: worker %s stole %d cells", wc.id, k)
+	}
+	cell := wc.shard.cells[0]
+	wc.shard.cells = wc.shard.cells[1:]
+	return cell, true
+}
+
+// largestShard returns the non-empty shard with the most cells,
+// excluding the asker's own; ties break to the earliest-created shard,
+// keeping the choice deterministic for a given shard history.
+func (st *coordState) largestShard(own *shard) *shard {
+	var best *shard
+	for _, s := range st.shards {
+		if s == own || len(s.cells) == 0 {
+			continue
+		}
+		if best == nil || len(s.cells) > len(best.cells) {
+			best = s
+		}
+	}
+	return best
+}
+
+// result settles or retries one reported cell.
+func (st *coordState) result(wc *workerConn, r Result) {
+	// Clear the lease (a late result after revocation has none).
+	for i, c := range wc.leased {
+		if c == r.Cell {
+			wc.leased = append(wc.leased[:i], wc.leased[i+1:]...)
+			break
+		}
+	}
+	if _, ok := st.settled[r.Cell]; ok {
+		return // duplicate (cell re-ran elsewhere after a revocation race)
+	}
+	cs := st.state(r.Cell)
+	cs.attempts++
+	if r.Err == "" {
+		st.settle(r.Cell, Settled{Payload: r.Payload, Errs: cs.errs, Attempts: cs.attempts})
+		return
+	}
+	cs.errs = append(cs.errs, r.Err)
+	st.retryOrFail(wc.shard, r.Cell, cs)
+}
+
+// retryOrFail requeues a failed cell at the head of the shard it came
+// from (still stealable) while budget remains, else settles it as a
+// failure joining every attempt's error.
+func (st *coordState) retryOrFail(home *shard, cell int, cs *cellState) {
+	if cs.attempts < st.co.opts.MaxLeases {
+		if home == nil {
+			home = st.anyShard()
+		}
+		home.cells = append([]int{cell}, home.cells...)
+		st.serveParked()
+		return
+	}
+	st.settle(cell, Settled{Err: strings.Join(cs.errs, "\n"), Errs: cs.errs, Attempts: cs.attempts})
+}
+
+// anyShard returns a shard to requeue into when the natural home is
+// unknown (every coordinator has at least the seed shard).
+func (st *coordState) anyShard() *shard { return st.shards[0] }
+
+func (st *coordState) state(cell int) *cellState {
+	cs := st.states[cell]
+	if cs == nil {
+		cs = &cellState{}
+		st.states[cell] = cs
+	}
+	return cs
+}
+
+// settle records a final outcome and notifies the caller.
+func (st *coordState) settle(cell int, s Settled) {
+	st.settled[cell] = s
+	if st.co.opts.OnSettled != nil {
+		st.co.opts.OnSettled(cell, s)
+	}
+}
+
+// dropWorker declares a worker dead: its connection closes, its parked
+// want is forgotten, and every cell it held is revoked — each
+// revocation consumes one attempt (recorded as DisconnectErr) and the
+// cell requeues at the head of the dead worker's shard, where surviving
+// workers steal it.
+func (st *coordState) dropWorker(wc *workerConn, why string) {
+	if wc.dead || !st.workers[wc] {
+		wc.conn.Close()
+		return
+	}
+	wc.dead = true
+	delete(st.workers, wc)
+	wc.conn.Close()
+	if wc.parked {
+		for i, p := range st.parked {
+			if p == wc {
+				st.parked = append(st.parked[:i], st.parked[i+1:]...)
+				break
+			}
+		}
+		wc.parked = false
+	}
+	if len(wc.leased) > 0 {
+		st.logf("dispatch: worker %s died (%s); revoking %d leased cell(s)", wc.id, why, len(wc.leased))
+	}
+	for _, cell := range wc.leased {
+		if _, ok := st.settled[cell]; ok {
+			continue
+		}
+		cs := st.state(cell)
+		cs.attempts++
+		cs.errs = append(cs.errs, DisconnectErr)
+		st.retryOrFail(wc.shard, cell, cs)
+	}
+	wc.leased = nil
+	st.serveParked()
+}
+
+// serveParked grants queued wants (FIFO) while work is available.
+func (st *coordState) serveParked() {
+	for len(st.parked) > 0 {
+		wc := st.parked[0]
+		cell, ok := st.take(wc)
+		if !ok {
+			return
+		}
+		st.parked = st.parked[1:]
+		wc.parked = false
+		wc.leased = append(wc.leased, cell)
+		st.send(wc, Frame{Type: FrameLease, Lease: &Lease{Cells: []int{cell}}})
+	}
+}
+
+// reapSilent revokes the leases of workers that stopped heartbeating.
+func (st *coordState) reapSilent() {
+	now := time.Now() //metalint:allow wallclock liveness bookkeeping for host worker processes
+	var silent []*workerConn
+	for wc := range st.workers { //metalint:allow maporder drop order does not affect any result: revoked cells requeue into per-worker shards
+		if now.Sub(wc.lastSeen) > st.co.opts.LeaseTimeout {
+			silent = append(silent, wc)
+		}
+	}
+	for _, wc := range silent {
+		st.dropWorker(wc, "heartbeat timeout")
+	}
+}
+
+// shutdown drains every surviving worker and closes the connections.
+func (st *coordState) shutdown() {
+	for wc := range st.workers { //metalint:allow maporder drain order is invisible: every worker gets the same frame
+		wc.conn.SetWriteDeadline(time.Now().Add(time.Second)) //metalint:allow wallclock write deadline guards against a wedged host process
+		WriteFrame(wc.conn, Frame{Type: FrameDrain})
+		wc.conn.Close()
+	}
+}

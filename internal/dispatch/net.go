@@ -1,0 +1,71 @@
+package dispatch
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"strings"
+)
+
+// Network address convention: "unix:PATH" or any address starting with
+// '/' selects a unix socket; everything else is "host:port" TCP. Local
+// -workers runs use a unix socket in a private temp dir; -listen and
+// worker -connect speak TCP across machines.
+
+// netAddr splits an address string into a net package (network, addr)
+// pair per the convention above.
+func netAddr(addr string) (string, string) {
+	if rest, ok := strings.CutPrefix(addr, "unix:"); ok {
+		return "unix", rest
+	}
+	if strings.HasPrefix(addr, "/") {
+		return "unix", addr
+	}
+	return "tcp", addr
+}
+
+// Listen opens the coordinator's listener on addr.
+func Listen(addr string) (net.Listener, error) {
+	network, a := netAddr(addr)
+	ln, err := net.Listen(network, a)
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: listen %s: %w", addr, err)
+	}
+	return ln, nil
+}
+
+// Dial connects a worker to the coordinator at addr.
+func Dial(addr string) (net.Conn, error) {
+	network, a := netAddr(addr)
+	conn, err := net.Dial(network, a)
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: dial %s: %w", addr, err)
+	}
+	return conn, nil
+}
+
+// SpawnLocal starts n copies of binary with args (the coordinator's
+// address appended) as local worker processes. extraEnv entries are
+// appended to the inherited environment; stderr, when non-nil, receives
+// the workers' stderr streams. The processes are killed if ctx is
+// cancelled. Callers must Wait on each returned command.
+func SpawnLocal(ctx context.Context, n int, binary string, args []string, extraEnv []string, stderr io.Writer) ([]*exec.Cmd, error) {
+	var cmds []*exec.Cmd
+	for i := 0; i < n; i++ {
+		cmd := exec.CommandContext(ctx, binary, args...)
+		cmd.Env = append(os.Environ(), extraEnv...)
+		cmd.Stderr = stderr
+		if err := cmd.Start(); err != nil {
+			for _, c := range cmds {
+				c.Process.Kill()
+				c.Wait()
+			}
+			return nil, fmt.Errorf("dispatch: spawn worker %d: %w", i, err)
+		}
+		cmds = append(cmds, cmd)
+	}
+	return cmds, nil
+}

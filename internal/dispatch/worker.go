@@ -1,0 +1,189 @@
+package dispatch
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// RunFunc computes one cell and returns its result payload, or the
+// error the coordinator should record against this attempt.
+type RunFunc func(ctx context.Context, cell int) (json.RawMessage, error)
+
+// Session is an initialized worker-side job: how to run a cell, plus an
+// optional fault hook.
+type Session struct {
+	// Run computes one leased cell.
+	Run RunFunc
+	// Drop, when non-nil, is consulted before each leased cell: true
+	// means "die now" — the worker closes its connection abruptly
+	// (the in-process analog of a SIGKILL) so chaos tests can exercise
+	// the coordinator's revocation path deterministically.
+	Drop func(cell int) bool
+}
+
+// Worker attaches to a coordinator, initializes a session from the job
+// it is handed, and then pulls and runs cells until drained.
+type Worker struct {
+	// ID names the worker in the hello handshake and coordinator logs.
+	ID string
+	// Heartbeat is the beacon interval; <= 0 selects one second. It must
+	// stay well under the coordinator's lease timeout.
+	Heartbeat time.Duration
+	// Init builds the session from the coordinator's opaque job spec.
+	// An error here is reported to the coordinator as a fail frame.
+	Init func(job json.RawMessage) (Session, error)
+}
+
+// ErrDropped is returned by Worker.Run when the session's Drop hook
+// fired: the worker abandoned its connection on purpose.
+var ErrDropped = errors.New("dispatch: worker dropped by fault hook")
+
+// Run speaks the worker side of the protocol over conn until the
+// coordinator drains it (nil), the context is cancelled, or the
+// connection dies. The connection is closed on return.
+func (w *Worker) Run(ctx context.Context, conn net.Conn) error {
+	defer conn.Close()
+	hb := w.Heartbeat
+	if hb <= 0 {
+		hb = time.Second
+	}
+
+	// All writes — results, wants, heartbeats — share one mutex so the
+	// heartbeat goroutine can beat while a cell computes without
+	// interleaving bytes mid-frame.
+	var wmu sync.Mutex
+	send := func(f Frame) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		return WriteFrame(conn, f)
+	}
+
+	if err := send(Frame{Type: FrameHello, Hello: &Hello{Worker: w.ID, Proto: ProtoVersion}}); err != nil {
+		return fmt.Errorf("dispatch: worker hello: %w", err)
+	}
+	br := bufio.NewReader(conn)
+	f, err := ReadFrame(br)
+	if err != nil {
+		return fmt.Errorf("dispatch: worker handshake: %w", err)
+	}
+	switch f.Type {
+	case FrameJob:
+	case FrameFail:
+		return fmt.Errorf("dispatch: coordinator refused worker: %s", f.Fail.Reason)
+	default:
+		return fmt.Errorf("dispatch: worker handshake: unexpected %q frame", f.Type)
+	}
+	sess, err := w.Init(f.Job.Spec)
+	if err != nil {
+		send(Frame{Type: FrameFail, Fail: &Fail{Reason: err.Error()}})
+		return fmt.Errorf("dispatch: worker init: %w", err)
+	}
+
+	// Heartbeat beacon: keeps the lease alive while a slow cell
+	// computes. Stops with the run.
+	hbDone := make(chan struct{})
+	defer close(hbDone)
+	go func() {
+		t := time.NewTicker(hb) //metalint:allow wallclock heartbeats police host process liveness, not simulated time
+		defer t.Stop()
+		for {
+			select {
+			case <-hbDone:
+				return
+			case <-t.C:
+				if send(Frame{Type: FrameHeartbeat}) != nil {
+					return
+				}
+			}
+		}
+	}()
+
+	// Unblock the (blocking) frame reads when the context dies.
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+
+	for {
+		if err := send(Frame{Type: FrameWant}); err != nil {
+			// The coordinator may have drained and closed while this want
+			// was in flight (it finished the moment our last result
+			// landed). The drain frame, if any, is still readable from the
+			// kernel buffer — a clean exit, not a failure.
+			if f, rerr := ReadFrame(br); rerr == nil && f.Type == FrameDrain {
+				return nil
+			} else if errors.Is(rerr, io.EOF) {
+				return ctxOr(ctx, nil)
+			}
+			return ctxOr(ctx, fmt.Errorf("dispatch: worker want: %w", err))
+		}
+		f, err := ReadFrame(br)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return ctxOr(ctx, nil) // coordinator finished without a drain frame
+			}
+			return ctxOr(ctx, fmt.Errorf("dispatch: worker read: %w", err))
+		}
+		switch f.Type {
+		case FrameDrain:
+			return nil
+		case FrameLease:
+			for _, cell := range f.Lease.Cells {
+				if sess.Drop != nil && sess.Drop(cell) {
+					// Abrupt close, no goodbye: the SIGKILL analog. The
+					// coordinator sees a dead connection and revokes.
+					conn.Close()
+					return ErrDropped
+				}
+				payload, err := runCell(ctx, sess.Run, cell)
+				res := &Result{Cell: cell}
+				if err != nil {
+					res.Err = err.Error()
+				} else {
+					res.Payload = payload
+				}
+				if err := send(Frame{Type: FrameResult, Result: res}); err != nil {
+					// Same shutdown race as the want path: the grid can
+					// settle (a revoked twin of this cell re-ran elsewhere)
+					// while this result is in flight.
+					if f, rerr := ReadFrame(br); rerr == nil && f.Type == FrameDrain {
+						return nil
+					} else if errors.Is(rerr, io.EOF) {
+						return ctxOr(ctx, nil)
+					}
+					return ctxOr(ctx, fmt.Errorf("dispatch: worker result: %w", err))
+				}
+			}
+		default:
+			return fmt.Errorf("dispatch: worker: unexpected %q frame", f.Type)
+		}
+	}
+}
+
+// runCell runs one cell with panic containment; a panicking cell
+// becomes a normal attempt error instead of killing the worker. The
+// message is exactly the "panic: v" the in-process runner records — no
+// stack — so a panicking cell settles to the same row bytes under
+// -par and -workers.
+func runCell(ctx context.Context, run RunFunc, cell int) (payload json.RawMessage, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return run(ctx, cell)
+}
+
+// ctxOr prefers the context's cancellation over a transport error that
+// the cancellation itself provoked (we close the conn to unblock reads).
+func ctxOr(ctx context.Context, err error) error {
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return err
+}

@@ -10,6 +10,7 @@ import (
 
 	"metaleak/internal/arch"
 	"metaleak/internal/crypto"
+	"metaleak/internal/dispatch"
 	"metaleak/internal/faults"
 	"metaleak/internal/machine"
 	"metaleak/internal/secmem"
@@ -272,6 +273,79 @@ func ChaosSweep(ctx context.Context, dir string, seed uint64) error {
 		return fmt.Errorf("chaos sweep: resumed rows differ from clean: %w", err)
 	}
 	os.Remove(cpPath)
+	return nil
+}
+
+// ChaosDispatch checks the distributed-sweep invariants end to end,
+// using in-process workers over loopback TCP (the wire path is the real
+// one; only process isolation is elided — subprocess workers are
+// covered by the CLI tests and the CI smoke job). It returns the first
+// violated invariant, or nil when all hold:
+//
+//  1. Identity: a 4-worker distributed run's rows are byte-identical to
+//     the single-process sweep.
+//  2. Drop/re-lease recovery: a worker that drops its connection while
+//     holding a lease (harness:disconnect) loses the cell to a
+//     surviving worker, and with retry budget left the finished grid is
+//     still byte-identical — zero lost cells, zero visible scars.
+//  3. Drop quarantine: a cell whose every lease dies exhausts its
+//     budget and settles as a quarantined row carrying one
+//     "worker disconnected mid-lease" error per revoked lease; every
+//     other cell's row is untouched.
+func ChaosDispatch(ctx context.Context, seed uint64) error {
+	axes := SweepAxes{
+		Configs:   []string{"sct"},
+		MinorBits: []uint{7},
+		MetaKB:    []int{64},
+		Noise:     []arch.Cycles{0},
+		Seeds:     4,
+		Seed:      seed,
+		Bits:      8,
+		Set:       []string{"SecurePages=16384", "FastCrypto=true"},
+	}
+	clean, err := SweepOpts(ctx, axes, SweepOptions{Workers: 1})
+	if err != nil {
+		return fmt.Errorf("chaos dispatch: clean run: %w", err)
+	}
+
+	// 1. Identity at 4 workers, no faults.
+	rows, err := runLocalDispatch(ctx, axes, SweepOptions{}, DispatchOptions{}, 4, nil)
+	if err != nil {
+		return fmt.Errorf("chaos dispatch: 4-worker run: %w", err)
+	}
+	if err := rowsIdentical(clean, rows); err != nil {
+		return fmt.Errorf("chaos dispatch: 4-worker rows differ from single-process: %w", err)
+	}
+
+	// 2. One planned drop on cell 1's first lease; a retry recovers it.
+	dropPlan := faults.MustParse("harness:disconnect@1x1")
+	rows, err = runLocalDispatch(ctx, axes, SweepOptions{Retries: 1}, DispatchOptions{}, 4, dropPlan.NewHarness())
+	if err != nil {
+		return fmt.Errorf("chaos dispatch: drop/re-lease run: %w", err)
+	}
+	if err := rowsIdentical(clean, rows); err != nil {
+		return fmt.Errorf("chaos dispatch: re-leased rows differ from clean: %w", err)
+	}
+
+	// 3. Every lease of cell 0 dies: the cell quarantines, nothing else
+	// moves. Two drops against a 1-retry budget (2 leases) kill exactly
+	// two of the four workers; the survivors finish the grid.
+	qPlan := faults.MustParse("harness:disconnect@0x2")
+	rows, err = runLocalDispatch(ctx, axes, SweepOptions{Retries: 1}, DispatchOptions{}, 4, qPlan.NewHarness())
+	if err != nil {
+		return fmt.Errorf("chaos dispatch: quarantine run: %w", err)
+	}
+	if len(rows) != len(clean) {
+		return fmt.Errorf("chaos dispatch: quarantine run lost cells: %d rows, want %d", len(rows), len(clean))
+	}
+	q := rows[0]
+	wantErr := dispatch.DisconnectErr + "\n" + dispatch.DisconnectErr
+	if !q.Quarantined || q.Attempts != 2 || q.Err != wantErr {
+		return fmt.Errorf("chaos dispatch: cell 0 not quarantined as expected: %+v", q)
+	}
+	if err := rowsIdentical(clean[1:], rows[1:]); err != nil {
+		return fmt.Errorf("chaos dispatch: quarantine perturbed unaffected rows: %w", err)
+	}
 	return nil
 }
 

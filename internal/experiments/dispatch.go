@@ -1,0 +1,289 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"metaleak/internal/dispatch"
+	"metaleak/internal/faults"
+	"metaleak/internal/runner"
+)
+
+// This file binds the generic coordinator/worker protocol of
+// internal/dispatch to the sweep engine. The contract is the same one
+// the in-process runner honors: distribution is pure scheduling. A
+// cell's row is a function of the axes and the cell index — which
+// worker process ran it, in what steal order, and after how many
+// revoked leases never appears in the output — so SweepDispatch's
+// merged rows are byte-identical to SweepOpts' for any worker count,
+// steal schedule, or mid-run worker death.
+
+// SweepJob is the opaque job spec a sweep coordinator ships to its
+// workers: everything a worker needs to expand the identical grid and
+// run any cell of it.
+type SweepJob struct {
+	// Axes is the normalized sweep grid (including -set overrides, and
+	// hence any machine-level fault spec riding them).
+	Axes SweepAxes
+	// Fingerprint is the coordinator's Axes.Fingerprint(); a worker
+	// whose own expansion fingerprints differently is running skewed
+	// code and refuses the job rather than contributing wrong rows.
+	Fingerprint string
+	// Timeout is the per-attempt deadline each worker applies locally;
+	// 0 disables stall detection.
+	Timeout time.Duration
+	// HarnessSpec carries the plan's harness-level fault entries
+	// (re-rendered by faults.Plan.HarnessSpec) so worker-side faults —
+	// disconnect above all — fire in the process holding the lease.
+	HarnessSpec string
+}
+
+// NewSweepSession initializes a worker-side dispatch session from a
+// SweepJob payload, building the session's fault harness from the
+// job's harness spec (per-process attempt counting). It is the Init
+// hook `metaleak worker` uses.
+func NewSweepSession(spec json.RawMessage) (dispatch.Session, error) {
+	var h *faults.Harness
+	var job SweepJob
+	if err := json.Unmarshal(spec, &job); err != nil {
+		return dispatch.Session{}, fmt.Errorf("sweep job: %w", err)
+	}
+	if job.HarnessSpec != "" {
+		plan, err := faults.Parse(job.HarnessSpec)
+		if err != nil {
+			return dispatch.Session{}, fmt.Errorf("sweep job: %w", err)
+		}
+		h = plan.NewHarness()
+	}
+	return newSweepSession(job, h)
+}
+
+// NewSweepSessionHarness is NewSweepSession with a caller-supplied
+// harness (ignoring the job's spec) — in-process workers share one
+// harness so planned faults count attempts globally and fire
+// deterministically, the shape the chaos invariants assert.
+func NewSweepSessionHarness(spec json.RawMessage, h *faults.Harness) (dispatch.Session, error) {
+	var job SweepJob
+	if err := json.Unmarshal(spec, &job); err != nil {
+		return dispatch.Session{}, fmt.Errorf("sweep job: %w", err)
+	}
+	return newSweepSession(job, h)
+}
+
+func newSweepSession(job SweepJob, h *faults.Harness) (dispatch.Session, error) {
+	prep, err := sweepPrep(job.Axes, SweepOptions{})
+	if err != nil {
+		return dispatch.Session{}, err
+	}
+	if fp := prep.axes.Fingerprint(); fp != job.Fingerprint {
+		return dispatch.Session{}, fmt.Errorf(
+			"sweep job: grid fingerprint mismatch (coordinator %.12s…, worker %.12s…): worker binary expands a different grid — version skew",
+			job.Fingerprint, fp)
+	}
+	cells, ovs, bits := prep.cells, prep.ovs, prep.axes.Bits
+	run := func(ctx context.Context, cell int) (json.RawMessage, error) {
+		if cell < 0 || cell >= len(cells) {
+			return nil, fmt.Errorf("leased cell %d outside grid of %d", cell, len(cells))
+		}
+		c := cells[cell]
+		trial := h.WrapTrial(c.Index, func() (any, error) {
+			return runSweepCell(c, bits, ovs)
+		})
+		// One lease is one attempt: run it under the same single-attempt
+		// deadline machinery the in-process pool uses, so stalls and
+		// panics settle to the identical error strings. Retries are the
+		// coordinator's job (lease budget), not the worker's.
+		res, errs := runner.RunAllPolicy(ctx, []runner.Trial{trial},
+			runner.Policy{Workers: 1, Timeout: job.Timeout}, nil)
+		if errs[0] != nil {
+			return nil, attemptCause(errs[0])
+		}
+		payload, err := json.Marshal(res[0].(SweepRow))
+		if err != nil {
+			return nil, err
+		}
+		return payload, nil
+	}
+	return dispatch.Session{Run: run, Drop: func(cell int) bool {
+		if cell < 0 || cell >= len(cells) {
+			return false
+		}
+		return h.Disconnect(cells[cell].Index)
+	}}, nil
+}
+
+// attemptCause strips the runner's TrialError envelope so the attempt
+// error the coordinator records is the same string settledRow would put
+// in a single-process row ("trial N:" prefixes depend on pool slot
+// numbering and must not leak into results).
+func attemptCause(err error) error {
+	var te *runner.TrialError
+	if errors.As(err, &te) && te.Err != nil {
+		return te.Err
+	}
+	return err
+}
+
+// DispatchOptions configures the coordinator side of a distributed
+// sweep, on top of the usual SweepOptions.
+type DispatchOptions struct {
+	// LeaseTimeout is how long a worker may stay silent before its
+	// leases revoke; <= 0 selects the dispatch default (10s).
+	LeaseTimeout time.Duration
+	// HarnessSpec is shipped to workers inside the job (see
+	// SweepJob.HarnessSpec).
+	HarnessSpec string
+}
+
+// SweepDispatch runs the grid distributed: it accepts workers on ln,
+// deals pending cells via work-stealing leases, re-leases cells from
+// dead workers (each revocation consuming one attempt of the cell's
+// 1+Retries budget, exactly like a failed in-process attempt), streams
+// settled rows into the checkpoint, and returns rows in grid order —
+// byte-identical to SweepOpts with the same axes and policy. Of opts,
+// Workers and Backoff are ignored (concurrency is however many workers
+// attach; there is no inter-lease pause) and Faults only drives the
+// checkpoint tamper hook — worker-side faults travel via
+// dopts.HarnessSpec.
+func SweepDispatch(ctx context.Context, axes SweepAxes, opts SweepOptions, dopts DispatchOptions, ln net.Listener) ([]SweepRow, error) {
+	prep, err := sweepPrep(axes, opts)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	if prep.cp != nil {
+		defer prep.cp.Close()
+	}
+	job := SweepJob{
+		Axes:        prep.axes,
+		Fingerprint: prep.axes.Fingerprint(),
+		Timeout:     opts.Timeout,
+		HarnessSpec: dopts.HarnessSpec,
+	}
+	spec, err := json.Marshal(job)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+
+	retries := opts.Retries
+	cells := prep.cells
+	co := dispatch.NewCoordinator(spec, prep.pending, dispatch.Options{
+		LeaseTimeout: dopts.LeaseTimeout,
+		MaxLeases:    1 + retries,
+		Log:          opts.Log,
+		OnSettled: func(cell int, s dispatch.Settled) {
+			if prep.cp == nil {
+				return
+			}
+			if row, ok := dispatchRow(cells[cell], s, retries); ok {
+				prep.cp.Append(row)
+			}
+		},
+	})
+	settled, runErr := co.Run(ctx, ln)
+
+	rows := make([]SweepRow, 0, len(cells))
+	interrupted := false
+	for i := range cells {
+		if row, ok := prep.done[i]; ok {
+			rows = append(rows, row)
+			continue
+		}
+		s, ok := settled[i]
+		if !ok {
+			interrupted = true
+			continue
+		}
+		if row, ok := dispatchRow(cells[i], s, retries); ok {
+			rows = append(rows, row)
+		} else {
+			interrupted = true
+		}
+	}
+	if prep.cp != nil {
+		if err := prep.cp.Err(); err != nil {
+			return rows, err
+		}
+	}
+	if runErr != nil {
+		return rows, runErr
+	}
+	if interrupted {
+		return rows, ctx.Err()
+	}
+	return rows, nil
+}
+
+// runLocalDispatch is the in-process distributed path the chaos driver
+// and tests use: SweepDispatch with n worker goroutines attached over
+// loopback TCP, all sharing one fault harness so planned worker faults
+// (disconnect above all) count attempts globally and fire
+// deterministically. Subprocess workers (`metaleak worker`) go through
+// NewSweepSession instead.
+func runLocalDispatch(ctx context.Context, axes SweepAxes, opts SweepOptions, dopts DispatchOptions, n int, h *faults.Harness) ([]SweepRow, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	addr := ln.Addr().String()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		w := &dispatch.Worker{
+			ID:        fmt.Sprintf("local-%d", i),
+			Heartbeat: 50 * time.Millisecond,
+			Init: func(spec json.RawMessage) (dispatch.Session, error) {
+				return NewSweepSessionHarness(spec, h)
+			},
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := dispatch.Dial(addr)
+			if err != nil {
+				return
+			}
+			w.Run(ctx, conn)
+		}()
+	}
+	rows, err := SweepDispatch(ctx, axes, opts, dopts, ln)
+	wg.Wait()
+	return rows, err
+}
+
+// dispatchRow converts one settled dispatch outcome into a row,
+// mirroring settledRow byte for byte: a failed cell's Err joins every
+// attempt's error with newlines (the same rendering errors.Join gives
+// the in-process pool), and Attempts/Quarantined only appear under a
+// retry policy.
+func dispatchRow(c SweepCell, s dispatch.Settled, retries int) (SweepRow, bool) {
+	if s.Err == "" {
+		var row SweepRow
+		if err := json.Unmarshal(s.Payload, &row); err != nil {
+			row = SweepRow{SweepCell: c, Err: fmt.Sprintf("undecodable result payload: %v", err)}
+			if retries > 0 {
+				row.Attempts = s.Attempts
+				row.Quarantined = true
+			}
+			return row, true
+		}
+		return row, true
+	}
+	if strings.Contains(s.Err, "context canceled") && len(s.Errs) == 1 {
+		// A worker caught the cancellation before the coordinator did:
+		// not a measurement, not a failure — the cell simply didn't run.
+		return SweepRow{}, false
+	}
+	row := SweepRow{SweepCell: c, Err: s.Err}
+	if retries > 0 {
+		row.Attempts = s.Attempts
+		row.Quarantined = true
+	}
+	return row, true
+}

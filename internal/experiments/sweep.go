@@ -374,37 +374,14 @@ func SweepCheckpointed(ctx context.Context, axes SweepAxes, workers int, checkpo
 // pure function of the axes: policy decides whether a cell's row is a
 // measurement or a quarantine report, never what the measurement is.
 func SweepOpts(ctx context.Context, axes SweepAxes, opts SweepOptions) ([]SweepRow, error) {
-	axes = axes.normalized()
-	if err := axes.Validate(); err != nil {
+	prep, err := sweepPrep(axes, opts)
+	if err != nil {
 		return nil, err
 	}
-	ovs, err := machine.ParseOverrides(axes.Set)
-	if err != nil {
-		return nil, fmt.Errorf("sweep: %w", err)
-	}
-	// Vet the overrides against a scratch design point up front, so a
-	// field typo fails the sweep once instead of failing every cell.
-	scratch := machine.ConfigSCT()
-	if err := machine.ApplyOverrides(&scratch, ovs); err != nil {
-		return nil, fmt.Errorf("sweep: %w", err)
-	}
-	cells := axes.Cells()
-
-	done := map[int]SweepRow{}
-	var cp *Checkpoint
-	if opts.Checkpoint != "" {
-		cp, err = OpenCheckpoint(opts.Checkpoint, axes)
-		if err != nil {
-			return nil, err
-		}
+	axes, cells, cp, done := prep.axes, prep.cells, prep.cp, prep.done
+	ovs := prep.ovs
+	if cp != nil {
 		defer cp.Close()
-		if opts.Faults != nil {
-			cp.SetTamperer(opts.Faults.AfterAppend)
-		}
-		if d := cp.Discarded(); d != "" && opts.Log != nil {
-			opts.Log("checkpoint %s: discarded torn trailing line (%d bytes, crash mid-append); its cell will re-run", opts.Checkpoint, len(d))
-		}
-		done = cp.Completed()
 	}
 
 	pol := runner.Policy{
@@ -413,12 +390,7 @@ func SweepOpts(ctx context.Context, axes SweepAxes, opts SweepOptions) ([]SweepR
 		Retries: opts.Retries,
 		Backoff: opts.Backoff,
 	}
-	pending := make([]int, 0, len(cells)-len(done))
-	for i := range cells {
-		if _, ok := done[i]; !ok {
-			pending = append(pending, i)
-		}
-	}
+	pending := prep.pending
 	trials := make([]runner.Trial, len(pending))
 	for ti, i := range pending {
 		c := cells[i]
@@ -464,6 +436,59 @@ func SweepOpts(ctx context.Context, axes SweepAxes, opts SweepOptions) ([]SweepR
 		return rows, ctx.Err()
 	}
 	return rows, nil
+}
+
+// sweepPrep is the shared prologue of the single-process and
+// distributed sweep paths: normalize and validate the axes, parse and
+// vet the design-point overrides, expand the grid, and open the
+// checkpoint (loading already-completed rows). Callers own closing
+// prep.cp when non-nil.
+type sweepPrelude struct {
+	axes    SweepAxes
+	ovs     []machine.FieldOverride
+	cells   []SweepCell
+	cp      *Checkpoint
+	done    map[int]SweepRow
+	pending []int // grid indices still to run, ascending
+}
+
+func sweepPrep(axes SweepAxes, opts SweepOptions) (*sweepPrelude, error) {
+	axes = axes.normalized()
+	if err := axes.Validate(); err != nil {
+		return nil, err
+	}
+	ovs, err := machine.ParseOverrides(axes.Set)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
+	// Vet the overrides against a scratch design point up front, so a
+	// field typo fails the sweep once instead of failing every cell.
+	scratch := machine.ConfigSCT()
+	if err := machine.ApplyOverrides(&scratch, ovs); err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
+	prep := &sweepPrelude{axes: axes, ovs: ovs, cells: axes.Cells(), done: map[int]SweepRow{}}
+
+	if opts.Checkpoint != "" {
+		cp, err := OpenCheckpoint(opts.Checkpoint, axes)
+		if err != nil {
+			return nil, err
+		}
+		prep.cp = cp
+		if opts.Faults != nil {
+			cp.SetTamperer(opts.Faults.AfterAppend)
+		}
+		if d := cp.Discarded(); d != "" && opts.Log != nil {
+			opts.Log("checkpoint %s: discarded torn trailing line (%d bytes, crash mid-append); its cell will re-run", opts.Checkpoint, len(d))
+		}
+		prep.done = cp.Completed()
+	}
+	for i := range prep.cells {
+		if _, ok := prep.done[i]; !ok {
+			prep.pending = append(prep.pending, i)
+		}
+	}
+	return prep, nil
 }
 
 // settledRow converts one trial outcome into a row. Cells skipped by

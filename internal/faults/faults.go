@@ -27,7 +27,10 @@
 //
 // CLASS is ciphertext, mac, minor, major, node, row, or any (class
 // drawn from the seed per injection; H defaults to 512). KIND is
-// panic, stall, or err. Examples:
+// panic, stall, err, or disconnect — the last only meaningful under a
+// distributed sweep, where it makes the worker holding CELL's lease
+// drop its coordinator connection (the in-process analog of kill -9)
+// so the drop/revoke/re-lease path is exercised. Examples:
 //
 //	machine:mac@40
 //	machine:any@auto6/256
@@ -64,6 +67,12 @@ const (
 	// HarnessTrunc tears the checkpoint file mid-append and stops
 	// persistence, simulating a crash of the writing process.
 	HarnessTrunc
+	// HarnessDisconnect makes the dispatch worker holding the cell's
+	// lease drop its coordinator connection before running it — the
+	// worker-side analog of a SIGKILL — exercising the coordinator's
+	// lease revocation and re-deal. Only distributed sweeps consult it;
+	// single-process runs ignore it.
+	HarnessDisconnect
 )
 
 // String renders the kind name used in specs.
@@ -77,6 +86,8 @@ func (k HarnessKind) String() string {
 		return "err"
 	case HarnessTrunc:
 		return "trunc"
+	case HarnessDisconnect:
+		return "disconnect"
 	}
 	return "unknown"
 }
@@ -113,6 +124,7 @@ type Plan struct {
 	Harness []HarnessEntry
 
 	machineRaw []string
+	harnessRaw []string
 }
 
 // HasMachine reports whether any machine-level entries are planned.
@@ -125,6 +137,24 @@ func (p *Plan) HasHarness() bool { return len(p.Harness) > 0 }
 // mixed spec that must travel with the DesignPoint (and hence the
 // checkpoint fingerprint), while harness entries stay with the runner.
 func (p *Plan) MachineSpec() string { return strings.Join(p.machineRaw, ";") }
+
+// HarnessSpec re-renders only the harness-level entries — the part of a
+// mixed spec a distributed sweep ships to its workers inside the job,
+// so worker-side faults (disconnect) fire in the process actually
+// holding the lease.
+func (p *Plan) HarnessSpec() string { return strings.Join(p.harnessRaw, ";") }
+
+// HasDisconnect reports whether any disconnect entries are planned —
+// they require a distributed run to mean anything, and the CLI rejects
+// them otherwise instead of silently ignoring the plan.
+func (p *Plan) HasDisconnect() bool {
+	for _, he := range p.Harness {
+		if he.Kind == HarnessDisconnect {
+			return true
+		}
+	}
+	return false
+}
 
 // Parse parses a fault specification. An empty spec yields an empty
 // plan.
@@ -159,6 +189,7 @@ func Parse(spec string) (*Plan, error) {
 				return nil, fmt.Errorf("faults: entry %q: %w", entry, err)
 			}
 			p.Harness = append(p.Harness, he)
+			p.harnessRaw = append(p.harnessRaw, entry)
 		default:
 			return nil, fmt.Errorf("faults: entry %q: unknown surface %q (machine or harness)", entry, surface)
 		}
@@ -235,8 +266,10 @@ func parseHarness(kind, where string) (HarnessEntry, error) {
 		he.Kind = HarnessErr
 	case "trunc":
 		he.Kind = HarnessTrunc
+	case "disconnect":
+		he.Kind = HarnessDisconnect
 	default:
-		return he, fmt.Errorf("unknown kind %q (panic, stall, err, or trunc)", kind)
+		return he, fmt.Errorf("unknown kind %q (panic, stall, err, disconnect, or trunc)", kind)
 	}
 	cell := where
 	if c, n, ok := strings.Cut(where, "x"); ok {

@@ -43,6 +43,60 @@ func TestParseGrammar(t *testing.T) {
 	}
 }
 
+// TestParseDisconnect: the disconnect kind parses like the other
+// harness kinds, routes to the worker-side hook instead of WrapTrial,
+// and re-renders through HarnessSpec so a distributed job can carry it.
+func TestParseDisconnect(t *testing.T) {
+	p, err := Parse("machine:mac@40;harness:disconnect@2x2;harness:err@5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.HasDisconnect() {
+		t.Error("HasDisconnect() = false")
+	}
+	if p.Harness[0].Kind != HarnessDisconnect || p.Harness[0].Cell != 2 || p.Harness[0].Fails != 2 {
+		t.Errorf("harness[0] = %+v, want disconnect cell 2 x2", p.Harness[0])
+	}
+	if got := p.HarnessSpec(); got != "harness:disconnect@2x2;harness:err@5" {
+		t.Errorf("HarnessSpec() = %q", got)
+	}
+	if got := p.MachineSpec(); got != "machine:mac@40" {
+		t.Errorf("MachineSpec() = %q", got)
+	}
+	if HarnessDisconnect.String() != "disconnect" {
+		t.Errorf("String() = %q", HarnessDisconnect)
+	}
+	if q := MustParse("harness:err@1"); q.HasDisconnect() {
+		t.Error("err-only plan claims a disconnect")
+	}
+}
+
+// TestHarnessDisconnect: planned drops fire on the cell's first Fails
+// offers and never touch WrapTrial's attempt counting.
+func TestHarnessDisconnect(t *testing.T) {
+	h := MustParse("harness:disconnect@3x2;harness:err@3").NewHarness()
+	if !h.HasDisconnects() {
+		t.Fatal("HasDisconnects() = false")
+	}
+	if h.Disconnect(1) {
+		t.Error("unplanned cell dropped")
+	}
+	if !h.Disconnect(3) || !h.Disconnect(3) {
+		t.Error("planned drops did not fire twice")
+	}
+	if h.Disconnect(3) {
+		t.Error("drop fired past its budget")
+	}
+	// The err@3 entry still owns the trial-level attempt counter.
+	if _, err := h.WrapTrial(3, func() (any, error) { return nil, nil })(); !errors.Is(err, ErrInjected) {
+		t.Errorf("WrapTrial attempt after drops: err = %v, want injected", err)
+	}
+	var nilH *Harness
+	if nilH.Disconnect(0) || nilH.HasDisconnects() {
+		t.Error("nil harness must be inert")
+	}
+}
+
 func TestParseErrors(t *testing.T) {
 	for _, spec := range []string{
 		"machine:mac",             // no @where

@@ -32,6 +32,13 @@ type Harness struct {
 	entries  []HarnessEntry
 	attempts map[int]int
 	crashed  bool
+
+	// Disconnect entries keep their own counter map: a disconnect is
+	// consulted by the dispatch worker before a leased cell runs, not by
+	// WrapTrial, and the two must not share attempt counts (a dropped
+	// lease never reaches the trial).
+	disconnects []HarnessEntry
+	dropSeen    map[int]int
 }
 
 // NewHarness builds the harness applying the plan's harness-level
@@ -40,15 +47,18 @@ func (p *Plan) NewHarness() *Harness {
 	if !p.HasHarness() {
 		return nil
 	}
-	h := &Harness{stall: DefaultStall, attempts: make(map[int]int)}
+	h := &Harness{stall: DefaultStall, attempts: make(map[int]int), dropSeen: make(map[int]int)}
 	for _, he := range p.Harness {
-		if he.Kind == HarnessTrunc {
+		switch he.Kind {
+		case HarnessTrunc:
 			if h.truncAfter == 0 || he.Cell < h.truncAfter {
 				h.truncAfter = he.Cell
 			}
-			continue
+		case HarnessDisconnect:
+			h.disconnects = append(h.disconnects, he)
+		default:
+			h.entries = append(h.entries, he)
 		}
-		h.entries = append(h.entries, he)
 	}
 	return h
 }
@@ -92,6 +102,39 @@ func (h *Harness) WrapTrial(cell int, run func() (any, error)) func() (any, erro
 			return nil, fmt.Errorf("%w: injected error (cell %d attempt %d)", ErrInjected, cell, attempt)
 		}
 	}
+}
+
+// Disconnect is the dispatch worker's fault hook: it reports whether
+// the worker should drop its coordinator connection instead of running
+// the cell, consuming one planned drop per call. With a shared
+// in-process harness the planned drops for a cell fire on its first
+// Fails lease offers wherever they land, exactly once each; with
+// per-process harnesses (subprocess workers) each worker counts its own
+// offers, so a cell re-leased to a fresh worker can drop again — either
+// way the coordinator's retry budget bounds the chaos.
+func (h *Harness) Disconnect(cell int) bool {
+	if h == nil {
+		return false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, he := range h.disconnects {
+		if he.Cell != cell {
+			continue
+		}
+		h.dropSeen[cell]++
+		return h.dropSeen[cell] <= he.Fails
+	}
+	return false
+}
+
+// HasDisconnects reports whether the harness plans any disconnect
+// faults (and hence needs a distributed run to exercise them).
+func (h *Harness) HasDisconnects() bool {
+	if h == nil {
+		return false
+	}
+	return len(h.disconnects) > 0
 }
 
 // AfterAppend is the checkpoint tamper hook: the checkpoint calls it

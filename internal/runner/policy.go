@@ -63,9 +63,13 @@ func RunAllPolicy(ctx context.Context, trials []Trial, pol Policy, onDone func(i
 }
 
 // runAttempts drives one trial through the policy's attempt budget and
-// returns its settled result.
+// returns its settled result. A trial that exhausts the budget settles
+// with every attempt's error joined (in attempt order) — not just the
+// last attempt's — so retry diagnostics are lossless; a single-attempt
+// failure settles with that attempt's error untouched.
 func runAttempts(ctx context.Context, t Trial, i int, pol Policy) (any, error) {
 	var last error
+	var underlying []error
 	made := 0
 	for attempt := 1; attempt <= 1+pol.Retries; attempt++ {
 		if attempt > 1 && pol.Backoff != nil {
@@ -73,7 +77,7 @@ func runAttempts(ctx context.Context, t Trial, i int, pol Policy) (any, error) {
 		}
 		if err := ctx.Err(); err != nil {
 			// Cancelled between attempts: settle with the cancellation, not
-			// the stale attempt error — resume will re-run the trial anyway.
+			// the stale attempt errors — resume will re-run the trial anyway.
 			return nil, &TrialError{Index: i, Err: err, Attempts: made}
 		}
 		made++
@@ -82,12 +86,29 @@ func runAttempts(ctx context.Context, t Trial, i int, pol Policy) (any, error) {
 			return res, nil
 		}
 		last = err
+		underlying = append(underlying, attemptErr(err))
 	}
 	var te *TrialError
-	if errors.As(last, &te) {
-		te.Attempts = made
+	if !errors.As(last, &te) {
+		te = &TrialError{Index: i, Err: last}
 	}
-	return nil, last
+	te.Attempts = made
+	if made > 1 {
+		te.AttemptErrs = underlying
+		te.Err = errors.Join(underlying...)
+	}
+	return nil, te
+}
+
+// attemptErr strips one attempt's TrialError envelope so the joined
+// multi-attempt error reads "cause\ncause\n..." instead of repeating
+// the "trial N:" prefix per line.
+func attemptErr(err error) error {
+	var te *TrialError
+	if errors.As(err, &te) && te.Err != nil {
+		return te.Err
+	}
+	return err
 }
 
 // runDeadline executes one attempt, bounded by d when d > 0. The

@@ -27,10 +27,16 @@ func TestPolicyRetriesRecover(t *testing.T) {
 	}
 }
 
-// TestPolicyRetriesExhausted: the settled error is the last attempt's,
-// with the attempt count recorded out-of-band.
+// TestPolicyRetriesExhausted: the settled error joins every attempt's
+// error in attempt order (the pre-fix bug kept only the last attempt's,
+// so lease-retry diagnostics were lossy), with the attempt count and
+// the per-attempt slice recorded out-of-band.
 func TestPolicyRetriesExhausted(t *testing.T) {
-	trials := []Trial{func() (any, error) { return nil, errors.New("always") }}
+	calls := 0
+	trials := []Trial{func() (any, error) {
+		calls++
+		return nil, fmt.Errorf("attempt %d failed", calls)
+	}}
 	_, errs := RunAllPolicy(context.Background(), trials, Policy{Workers: 1, Retries: 2}, nil)
 	var te *TrialError
 	if !errors.As(errs[0], &te) {
@@ -39,8 +45,72 @@ func TestPolicyRetriesExhausted(t *testing.T) {
 	if te.Attempts != 3 {
 		t.Errorf("attempts = %d, want 3", te.Attempts)
 	}
+	want := "trial 0: attempt 1 failed\nattempt 2 failed\nattempt 3 failed"
+	if got := te.Error(); got != want {
+		t.Errorf("error = %q, want %q", got, want)
+	}
+	if len(te.AttemptErrs) != 3 {
+		t.Fatalf("AttemptErrs = %v, want 3 entries", te.AttemptErrs)
+	}
+	for i, ae := range te.AttemptErrs {
+		if want := fmt.Sprintf("attempt %d failed", i+1); ae.Error() != want {
+			t.Errorf("AttemptErrs[%d] = %q, want %q", i, ae, want)
+		}
+	}
+}
+
+// TestPolicySingleAttemptErrorUntouched: without retries the settled
+// error is exactly the attempt's error — no join, no AttemptErrs — so
+// retry-free runs keep their historic byte-identical error strings.
+func TestPolicySingleAttemptErrorUntouched(t *testing.T) {
+	trials := []Trial{func() (any, error) { return nil, errors.New("always") }}
+	_, errs := RunAllPolicy(context.Background(), trials, Policy{Workers: 1}, nil)
+	var te *TrialError
+	if !errors.As(errs[0], &te) {
+		t.Fatalf("err = %v", errs[0])
+	}
 	if got := te.Error(); got != "trial 0: always" {
-		t.Errorf("error string carries retry state: %q", got)
+		t.Errorf("error = %q, want %q", got, "trial 0: always")
+	}
+	if te.AttemptErrs != nil {
+		t.Errorf("AttemptErrs = %v, want nil for a single attempt", te.AttemptErrs)
+	}
+}
+
+// TestPolicyRetriesMixedKinds: stalls and panics join alongside plain
+// errors, each attempt keeping its own cause line.
+func TestPolicyRetriesMixedKinds(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	var calls atomic.Int32
+	trials := []Trial{func() (any, error) {
+		switch calls.Add(1) {
+		case 1:
+			<-release // stalls
+			return nil, nil
+		case 2:
+			panic("boom")
+		default:
+			return nil, errors.New("plain")
+		}
+	}}
+	pol := Policy{Workers: 1, Timeout: 20 * time.Millisecond, Retries: 2}
+	_, errs := RunAllPolicy(context.Background(), trials, pol, nil)
+	var te *TrialError
+	if !errors.As(errs[0], &te) {
+		t.Fatalf("err = %v", errs[0])
+	}
+	if !errors.Is(te, ErrStalled) {
+		t.Errorf("joined error lost the stall: %v", te)
+	}
+	if len(te.AttemptErrs) != 3 {
+		t.Fatalf("AttemptErrs = %v, want 3 entries", te.AttemptErrs)
+	}
+	if got := te.AttemptErrs[1].Error(); got != "panic: boom" {
+		t.Errorf("AttemptErrs[1] = %q, want %q", got, "panic: boom")
+	}
+	if got := te.AttemptErrs[2].Error(); got != "plain" {
+		t.Errorf("AttemptErrs[2] = %q, want %q", got, "plain")
 	}
 }
 

@@ -45,6 +45,11 @@ type TrialError struct {
 	// with this error (0 when it never started). Like Stack it stays out
 	// of Error(): retry counts are reporting metadata, not identity.
 	Attempts int
+	// AttemptErrs holds every attempt's underlying error in attempt
+	// order when the trial exhausted a retry budget (nil for
+	// single-attempt failures). Err joins them, so diagnostics keep all
+	// attempts, not just the last.
+	AttemptErrs []error
 }
 
 func (e *TrialError) Error() string { return fmt.Sprintf("trial %d: %v", e.Index, e.Err) }
