@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check build vet metalint test dispatch-race fuzz-smoke bench
+.PHONY: check build vet metalint lint-inventory secretflow-test test dispatch-race fuzz-smoke bench
 
-check: vet metalint test dispatch-race
+check: vet metalint lint-inventory secretflow-test test dispatch-race
 
 build:
 	$(GO) build ./...
@@ -15,7 +15,21 @@ vet:
 	$(GO) vet ./...
 
 metalint:
-	$(GO) run ./cmd/metalint ./...
+	$(GO) run ./cmd/metalint -strict-directives ./...
+
+# The leakage contract: regenerating the secret-taint inventory from
+# the tree must reproduce the committed leakage-inventory.json byte for
+# byte. A leak site appearing (new secret-dependent code) or vanishing
+# (a gadget silently fixed or a directive gone stale) both fail here.
+lint-inventory:
+	$(GO) run ./cmd/metalint -inventory /tmp/metalint-inventory.json ./...
+	diff leakage-inventory.json /tmp/metalint-inventory.json
+
+# The secretflow golden tests, re-run uncached: the fixture diagnostics,
+# the inventory golden, and the stale-directive scan are exercised on
+# every check even when internal/analysis is unchanged.
+secretflow-test:
+	$(GO) test -count=1 -run 'Secretflow|Directive|Relativize|Golden' ./internal/analysis
 
 test:
 	$(GO) test -race ./...

@@ -7,19 +7,28 @@
 // Usage:
 //
 //	metalint [-json] [-only a,b] [pattern ...]   # default pattern ./...
+//	metalint -inventory leaks.json               # write the leakage inventory
+//	metalint -strict-directives                  # stale directives fail the run
 //	metalint -list                               # describe the analyzers
 //
 // Exit codes (the verification-gate contract — metalint never rewrites
 // source, so a non-zero exit always means human attention):
 //
 //	0  no findings
-//	1  findings reported
+//	1  findings reported (or stale directives under -strict-directives)
 //	2  the tree failed to load or type-check
 //
 // Findings are suppressed case by case with a directive comment on the
 // flagged line or the line directly above it:
 //
 //	//metalint:allow <analyzer>[,<analyzer>...] [reason]
+//
+// The secretflow analyzer adds two more directive kinds with the same
+// placement rule: //metalint:secret <name>[,...] marks declarations as
+// taint sources, and //metalint:leaky <channel> [reason] declares a
+// secret-dependent site as part of the leakage contract. The leaky
+// sites are emitted by -inventory as sorted JSON and diffed in CI
+// against the committed leakage-inventory.json.
 package main
 
 import (
@@ -43,6 +52,8 @@ func run(args []string) int {
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	dir := fs.String("C", "", "run as if launched from this directory")
+	inventory := fs.String("inventory", "", "write the leakage inventory (declared //metalint:leaky sites) to this file, or - for stdout")
+	strictDirectives := fs.Bool("strict-directives", false, "treat stale or malformed //metalint: directives as findings (exit 1)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -61,7 +72,12 @@ func run(args []string) int {
 			name = strings.TrimSpace(name)
 			a := analysis.ByName(name)
 			if a == nil {
-				fmt.Fprintf(os.Stderr, "metalint: unknown analyzer %q (try -list)\n", name)
+				var known []string
+				for _, reg := range analysis.All {
+					known = append(known, reg.Name)
+				}
+				fmt.Fprintf(os.Stderr, "metalint: unknown analyzer %q; registered analyzers: %s\n",
+					name, strings.Join(known, ", "))
 				return 2
 			}
 			analyzers = append(analyzers, a)
@@ -99,6 +115,31 @@ func run(args []string) int {
 
 	res := analysis.Run(pkgs, analyzers)
 	res.Relativize(root)
+
+	if *inventory != "" {
+		out := os.Stdout
+		if *inventory != "-" {
+			f, err := os.Create(*inventory)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "metalint:", err)
+				return 2
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := res.WriteInventory(out); err != nil {
+			fmt.Fprintln(os.Stderr, "metalint:", err)
+			return 2
+		}
+	}
+
+	// Stale-directive warnings always print; -strict-directives turns
+	// them into failures so exceptions cannot outlive the code they
+	// excused.
+	for _, d := range res.Stale {
+		fmt.Fprintln(os.Stderr, "metalint: "+d.String())
+	}
+
 	if *asJSON {
 		if err := res.WriteJSON(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "metalint:", err)
@@ -118,6 +159,10 @@ func run(args []string) int {
 		}
 	}
 	if len(res.Diagnostics) > 0 {
+		return 1
+	}
+	if *strictDirectives && len(res.Stale) > 0 {
+		fmt.Fprintf(os.Stderr, "metalint: %d stale directive(s) with -strict-directives\n", len(res.Stale))
 		return 1
 	}
 	return 0

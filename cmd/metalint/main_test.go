@@ -1,9 +1,14 @@
 package main
 
 import (
+	"bytes"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"metaleak/internal/analysis"
 )
 
 func TestListExitsClean(t *testing.T) {
@@ -12,9 +17,42 @@ func TestListExitsClean(t *testing.T) {
 	}
 }
 
+// captureStderr runs fn with os.Stderr redirected into a buffer.
+func captureStderr(t *testing.T, fn func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stderr
+	os.Stderr = w
+	defer func() { os.Stderr = old }()
+	fn()
+	w.Close()
+	var buf bytes.Buffer
+	if _, err := io.Copy(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
 func TestUnknownAnalyzerIsUsageError(t *testing.T) {
-	if code := run([]string{"-only", "no-such-analyzer"}); code != 2 {
+	var code int
+	msg := captureStderr(t, func() {
+		code = run([]string{"-only", "no-such-analyzer"})
+	})
+	if code != 2 {
 		t.Fatalf("unknown analyzer exited %d, want 2", code)
+	}
+	if !strings.Contains(msg, `unknown analyzer "no-such-analyzer"`) {
+		t.Errorf("error does not name the bad analyzer:\n%s", msg)
+	}
+	// The error must list every registered analyzer so the fix is
+	// right there in the message.
+	for _, a := range analysis.All {
+		if !strings.Contains(msg, a.Name) {
+			t.Errorf("error does not mention registered analyzer %q:\n%s", a.Name, msg)
+		}
 	}
 }
 
@@ -51,13 +89,37 @@ func TestFindModuleMissing(t *testing.T) {
 }
 
 func TestGateOnOwnTree(t *testing.T) {
-	// The repo must stay metalint-clean: this is the same invariant
-	// `make check` enforces, kept inside `go test` so plain test runs
-	// catch a regression too.
+	// The repo must stay metalint-clean — including no stale
+	// directives: this is the same invariant `make check` enforces,
+	// kept inside `go test` so plain test runs catch a regression too.
 	if testing.Short() {
 		t.Skip("loads and type-checks the whole module")
 	}
-	if code := run([]string{"-C", "../.."}); code != 0 {
-		t.Fatalf("metalint on its own tree exited %d, want 0", code)
+	if code := run([]string{"-C", "../..", "-strict-directives"}); code != 0 {
+		t.Fatalf("metalint -strict-directives on its own tree exited %d, want 0", code)
+	}
+}
+
+func TestInventoryMatchesCommitted(t *testing.T) {
+	// The committed leakage-inventory.json is the leakage contract:
+	// regenerating it from the tree must be a no-op. A new leak site
+	// (or a vanished one) shows up here as a diff before CI sees it.
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	tmp := filepath.Join(t.TempDir(), "inventory.json")
+	if code := run([]string{"-C", "../..", "-inventory", tmp}); code != 0 {
+		t.Fatalf("metalint -inventory exited %d, want 0", code)
+	}
+	got, err := os.ReadFile(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("..", "..", "leakage-inventory.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("regenerated inventory differs from committed leakage-inventory.json; re-run `go run ./cmd/metalint -inventory leakage-inventory.json ./...`")
 	}
 }

@@ -1,62 +1,266 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"regexp"
 	"strings"
 )
 
-// allowRE matches the suppression directive:
-//
-//	//metalint:allow wallclock reason...
-//	//metalint:allow maporder,cycleleak -- reason...
-//
-// The directive must start the comment (no leading space before
+// DirectiveKind distinguishes the three metalint directive families.
+type DirectiveKind string
+
+// Directive kinds.
+const (
+	// DirAllow suppresses a finding that the human judged a false
+	// positive: //metalint:allow <analyzer>[,<analyzer>...] [reason]
+	DirAllow DirectiveKind = "allow"
+	// DirSecret marks a declaration as a taint source for secretflow:
+	// //metalint:secret <name>[,<name>...] [reason]
+	DirSecret DirectiveKind = "secret"
+	// DirLeaky declares a secret-dependent site as an intentional,
+	// inventoried leak: //metalint:leaky <channel> [reason]
+	DirLeaky DirectiveKind = "leaky"
+)
+
+// Directive is one parsed //metalint: comment. A directive covers its
+// own line (trailing comment) and the line directly below it
+// (preceding-line comment) — the same rule for all three kinds.
+type Directive struct {
+	Kind DirectiveKind
+	Pos  token.Position
+	// Analyzers lists the analyzer names an allow directive silences.
+	Analyzers []string
+	// Names restricts a secret directive to the named declarations on
+	// the covered lines (required: one line may declare several objects,
+	// of which usually only some are secret).
+	Names []string
+	// Channel is a leaky directive's leakage-channel label
+	// (access-sequence, trip-count, addr, ctr-bump, itree-node,
+	// out-of-model, ...).
+	Channel string
+	// Reason is the free-text justification.
+	Reason string
+	// malformed carries a parse-problem description; such directives do
+	// nothing and are always warned about.
+	malformed string
+
+	used bool
+}
+
+// Use marks the directive as having done its job (suppressed a finding,
+// seeded a secret, or covered a leak site), excluding it from the
+// stale-directive scan.
+func (d *Directive) Use() { d.used = true }
+
+// Used reports whether the directive did anything this run.
+func (d *Directive) Used() bool { return d.used }
+
+// directiveSet indexes a package's directives by file and line.
+type directiveSet struct {
+	byFileLine map[string]map[int][]*Directive
+	list       []*Directive // file/position order
+}
+
+// directiveRE matches the common prefix; the rest is parsed by hand so
+// malformed directives can be reported instead of silently ignored. The
+// directive must start the comment (no leading space before
 // "metalint:", mirroring //go: directives).
-var allowRE = regexp.MustCompile(`^//metalint:allow[ \t]+([a-zA-Z0-9_,-]+)`)
+var directiveRE = regexp.MustCompile(`^//metalint:(\S+)[ \t]*(.*)$`)
 
-// allowSet maps file name -> line -> analyzer names allowed there.
-type allowSet map[string]map[int]map[string]bool
+var (
+	nameListRE = regexp.MustCompile(`^[a-zA-Z0-9_-]+(,[a-zA-Z0-9_-]+)*$`)
+	channelRE  = regexp.MustCompile(`^[a-z][a-z0-9-]*$`)
+)
 
-// collectAllows gathers every allow directive in the package's files. A
-// directive covers its own line (trailing comment) and the line directly
-// below it (preceding-line comment).
-func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
-	set := make(allowSet)
+// parseDirective parses one comment. It returns nil when the comment is
+// not a metalint directive at all.
+func parseDirective(pos token.Position, text string) *Directive {
+	m := directiveRE.FindStringSubmatch(text)
+	if m == nil {
+		return nil
+	}
+	d := &Directive{Kind: DirectiveKind(m[1]), Pos: pos}
+	rest := strings.TrimSpace(m[2])
+	head, reason, _ := strings.Cut(rest, " ")
+	reason = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(reason), "-- "))
+	switch d.Kind {
+	case DirAllow:
+		if !nameListRE.MatchString(head) {
+			d.malformed = "allow directive needs a comma-separated analyzer list"
+			return d
+		}
+		d.Analyzers = strings.Split(head, ",")
+		d.Reason = reason
+	case DirSecret:
+		if !nameListRE.MatchString(head) {
+			d.malformed = "secret directive needs a comma-separated list of the secret declaration names"
+			return d
+		}
+		d.Names = strings.Split(head, ",")
+		d.Reason = reason
+	case DirLeaky:
+		if !channelRE.MatchString(head) {
+			d.malformed = "leaky directive needs a channel label (e.g. access-sequence, trip-count, addr)"
+			return d
+		}
+		d.Channel = head
+		d.Reason = reason
+	default:
+		d.malformed = fmt.Sprintf("unknown directive kind %q (want allow, secret, or leaky)", string(d.Kind))
+	}
+	return d
+}
+
+// collectDirectives gathers every //metalint: directive in the
+// package's files.
+func collectDirectives(fset *token.FileSet, files []*ast.File) *directiveSet {
+	set := &directiveSet{byFileLine: make(map[string]map[int][]*Directive)}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				m := allowRE.FindStringSubmatch(c.Text)
-				if m == nil {
+				d := parseDirective(fset.Position(c.Slash), c.Text)
+				if d == nil {
 					continue
 				}
-				pos := fset.Position(c.Slash)
-				lines := set[pos.Filename]
+				set.list = append(set.list, d)
+				lines := set.byFileLine[d.Pos.Filename]
 				if lines == nil {
-					lines = make(map[int]map[string]bool)
-					set[pos.Filename] = lines
+					lines = make(map[int][]*Directive)
+					set.byFileLine[d.Pos.Filename] = lines
 				}
-				names := lines[pos.Line]
-				if names == nil {
-					names = make(map[string]bool)
-					lines[pos.Line] = names
-				}
-				for _, name := range strings.Split(m[1], ",") {
-					names[strings.TrimSpace(name)] = true
-				}
+				lines[d.Pos.Line] = append(lines[d.Pos.Line], d)
 			}
 		}
 	}
 	return set
 }
 
-// allowedAt reports whether a finding by the named analyzer at the given
-// position is covered by a directive on the same line or the line above.
-func (p *Package) allowedAt(analyzer string, pos token.Position) bool {
-	lines := p.allows[pos.Filename]
-	if lines == nil {
-		return false
+// covering returns the directives of the given kind covering a
+// position: those on the same line or the line directly above.
+func (s *directiveSet) covering(kind DirectiveKind, pos token.Position) []*Directive {
+	if s == nil {
+		return nil
 	}
-	return lines[pos.Line][analyzer] || lines[pos.Line-1][analyzer]
+	lines := s.byFileLine[pos.Filename]
+	if lines == nil {
+		return nil
+	}
+	var out []*Directive
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, d := range lines[line] {
+			if d.Kind == kind && d.malformed == "" {
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// allowedAt reports whether a finding by the named analyzer at the
+// given position is suppressed by an allow directive, marking the
+// directive used.
+func (p *Package) allowedAt(analyzer string, pos token.Position) bool {
+	for _, d := range p.dirs.covering(DirAllow, pos) {
+		for _, name := range d.Analyzers {
+			if name == analyzer {
+				d.Use()
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// LeakyAt returns the leaky directive covering the position, or nil.
+// The caller marks it used once it actually covers a tainted site.
+func (p *Package) LeakyAt(pos token.Position) *Directive {
+	if ds := p.dirs.covering(DirLeaky, pos); len(ds) > 0 {
+		return ds[0]
+	}
+	return nil
+}
+
+// SecretDirectives returns the package's secret directives in file
+// order.
+func (p *Package) SecretDirectives() []*Directive {
+	var out []*Directive
+	for _, d := range p.dirs.list {
+		if d.Kind == DirSecret && d.malformed == "" {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Directives returns every directive of the package in file order.
+func (p *Package) Directives() []*Directive {
+	if p.dirs == nil {
+		return nil
+	}
+	return p.dirs.list
+}
+
+// staleDirectives scans the packages for directives that did nothing:
+// malformed ones, allows that suppressed no finding, secrets that
+// marked no declaration, and leakies that covered no secret-dependent
+// site. A directive is only judged stale when the analyzers able to use
+// it actually ran (ran holds their names), so running a subset of
+// analyzers never produces false staleness.
+func staleDirectives(pkgs []*Package, ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, d := range pkg.Directives() {
+			if isTestFile(d.Pos.Filename) {
+				// Test files are invisible to normal metalint runs;
+				// directives there answer to the golden tests instead.
+				continue
+			}
+			msg := staleMessage(d, ran)
+			if msg == "" {
+				continue
+			}
+			out = append(out, Diagnostic{
+				Pos:      d.Pos,
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: "directive",
+				Message:  msg,
+			})
+		}
+	}
+	return out
+}
+
+func staleMessage(d *Directive, ran map[string]bool) string {
+	if d.malformed != "" {
+		return "malformed //metalint:" + string(d.Kind) + " directive: " + d.malformed
+	}
+	if d.Used() {
+		return ""
+	}
+	switch d.Kind {
+	case DirAllow:
+		for _, name := range d.Analyzers {
+			if ByName(name) == nil {
+				return fmt.Sprintf("//metalint:allow names unknown analyzer %q", name)
+			}
+		}
+		for _, name := range d.Analyzers {
+			if ran[name] {
+				return fmt.Sprintf("stale //metalint:allow %s — suppresses nothing", strings.Join(d.Analyzers, ","))
+			}
+		}
+	case DirSecret:
+		if ran[secretflowName] {
+			return fmt.Sprintf("stale //metalint:secret %s — marks no declaration on this or the next line", strings.Join(d.Names, ","))
+		}
+	case DirLeaky:
+		if ran[secretflowName] {
+			return fmt.Sprintf("stale //metalint:leaky %s — covers no secret-dependent site", d.Channel)
+		}
+	}
+	return ""
 }

@@ -72,8 +72,11 @@ func TestRegistry(t *testing.T) {
 	}
 	seen := make(map[string]bool)
 	for _, a := range All {
-		if a.Name == "" || a.Doc == "" || a.Run == nil {
+		if a.Name == "" || a.Doc == "" {
 			t.Errorf("analyzer %+v incompletely defined", a)
+		}
+		if (a.Run == nil) == (a.RunProgram == nil) {
+			t.Errorf("analyzer %q must set exactly one of Run and RunProgram", a.Name)
 		}
 		if seen[a.Name] {
 			t.Errorf("duplicate analyzer name %q", a.Name)

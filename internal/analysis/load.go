@@ -44,7 +44,7 @@ type Package struct {
 	// failed load: findings on a mistyped tree are not trustworthy.
 	TypeErrors []error
 
-	allows allowSet
+	dirs *directiveSet
 }
 
 // Loader loads and type-checks packages. It resolves module-internal
@@ -338,7 +338,7 @@ func (l *Loader) parseAndCheck(dir, path string) (*Package, error) {
 			Selections: make(map[*ast.SelectorExpr]*types.Selection),
 			Implicits:  make(map[ast.Node]types.Object),
 		},
-		allows: collectAllows(l.fset, files),
+		dirs: collectDirectives(l.fset, files),
 	}
 	conf := types.Config{
 		Importer: l,

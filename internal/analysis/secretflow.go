@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"sort"
+	"strings"
+)
+
+// secretflowName is the registered analyzer name, shared with the
+// stale-directive scan (secret and leaky directives belong to it).
+const secretflowName = "secretflow"
+
+// SecretFlow is the interprocedural secret-taint analyzer. Secrets are
+// declared with //metalint:secret on a variable, field, or parameter
+// declaration; every site where a secret may influence control flow or
+// memory addressing (branch or switch condition, loop bound, index,
+// allocation size, variadic spread) is a finding unless the site
+// carries a //metalint:leaky <channel> directive. The leaky sites form
+// the leakage contract emitted by `metalint -inventory`.
+var SecretFlow = &Analyzer{
+	Name: secretflowName,
+	Doc: "secret values (//metalint:secret) must not reach branches, loop bounds, " +
+		"indexes, allocation sizes, or variadic spreads except at declared " +
+		"//metalint:leaky sites, which form the machine-readable leakage contract",
+	Match: matchAnyPkg(
+		"internal/victim",
+		"internal/mpi",
+		"internal/jpeg",
+		"internal/crypto",
+		"internal/core",
+	),
+	RunProgram: runSecretFlow,
+}
+
+func runSecretFlow(pass *ProgramPass) {
+	if len(pass.Pkgs) == 0 {
+		return
+	}
+	t := newTracker(pass.Fset, pass.Pkgs)
+	if len(t.seeds) == 0 {
+		return
+	}
+
+	// Phase A: resolve dynamic calls through function-valued variables
+	// and fields so the summary fixpoint sees a complete call graph.
+	t.funcFlowFixpoint()
+
+	// Phase B: per-function symbolic summaries to a global fixpoint,
+	// then one recording pass collecting sinks and hand-offs.
+	for round := 0; round < 64; round++ {
+		changed := false
+		for _, f := range t.funcs {
+			if t.analyze(f, false) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for _, f := range t.funcs {
+		t.analyze(f, true)
+	}
+
+	// Phase C: concrete seed propagation with provenance.
+	t.propagate()
+
+	// Classify each sink: declared leaky -> inventory, otherwise a
+	// diagnostic (unless suppressed by an allow directive).
+	for _, sink := range t.sinks {
+		reached := t.instSeeds(sink.f, sink.deps)
+		if len(reached) == 0 {
+			continue
+		}
+		pkg := sink.f.pkg
+		if !pass.Reportable(pkg) {
+			continue
+		}
+		ids := sortedSeedIDsOf(reached)
+		primary := ids[0]
+		chain := t.chainFor(sink, primary, reached[primary])
+		names := make([]string, 0, len(ids))
+		seenName := make(map[string]bool)
+		for _, id := range ids {
+			n := t.seeds[id].name
+			if !seenName[n] {
+				seenName[n] = true
+				names = append(names, n)
+			}
+		}
+		sort.Strings(names)
+		symbol := strings.Join(names, ",")
+
+		pos := t.fset.Position(sink.pos)
+		if d := pkg.LeakyAt(pos); d != nil {
+			d.Use()
+			pass.AddLeak(LeakSite{
+				File:    pos.Filename,
+				Line:    pos.Line,
+				Col:     pos.Column,
+				Kind:    sink.kind,
+				Channel: d.Channel,
+				Symbol:  symbol,
+				Reason:  d.Reason,
+				Chain:   chain,
+			})
+			continue
+		}
+		pass.Reportf(pkg, sink.pos,
+			"secret-dependent %s on %s: %s — add //metalint:leaky <channel> if this leak is part of the attack model",
+			sink.kind, sink.desc, chainString(chain))
+	}
+}

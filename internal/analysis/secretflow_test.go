@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadSecretflowFixture runs the secretflow analyzer over its fixture
+// tree and returns the result, relativized to the fixture root.
+func loadSecretflowFixture(t *testing.T) Result {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src", "secretflow"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := NewLoader(Config{Dir: root, IncludeTests: true})
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if errs := FirstTypeErrors(pkgs, 5); len(errs) > 0 {
+		t.Fatalf("fixture does not type-check: %v", errs)
+	}
+	res := Run(pkgs, []*Analyzer{SecretFlow})
+	res.Relativize(root)
+	return res
+}
+
+// TestSecretflowInventory pins the machine-readable leakage inventory
+// emitted for the fixture: every leaky-annotated, genuinely tainted
+// site appears with its kind, channel, symbol, and seed-to-sink chain.
+func TestSecretflowInventory(t *testing.T) {
+	res := loadSecretflowFixture(t)
+
+	var sb strings.Builder
+	if err := res.WriteInventory(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+
+	goldenPath := filepath.Join("testdata", "secretflow-inventory.golden")
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing inventory golden (run `go test ./internal/analysis -run TestSecretflow -update`): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("inventory mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	kinds := make(map[string]int)
+	for _, site := range res.Inventory {
+		kinds[site.Kind]++
+		if site.Symbol == "" {
+			t.Errorf("site %s:%d has no tainted symbol", site.File, site.Line)
+		}
+		if site.Channel == "" {
+			t.Errorf("site %s:%d has no channel label", site.File, site.Line)
+		}
+		if len(site.Chain) < 2 {
+			t.Errorf("site %s:%d chain too short: %+v", site.File, site.Line, site.Chain)
+		}
+	}
+	for _, kind := range []string{"branch", "loop-bound", "index", "alloc", "spread"} {
+		if kinds[kind] == 0 {
+			t.Errorf("inventory covers no %q site; the fixture must exercise every sink kind", kind)
+		}
+	}
+}
+
+// TestSecretflowInterproceduralChain pins the tentpole acceptance
+// criterion: the planted branch inside shape (reachable only through
+// the Hooks.Emit function-valued field) is flagged, and its taint
+// chain spans at least two interprocedural hops.
+func TestSecretflowInterproceduralChain(t *testing.T) {
+	res := loadSecretflowFixture(t)
+
+	var found bool
+	for _, d := range res.Diagnostics {
+		if !strings.Contains(d.Message, "v > 128") {
+			continue
+		}
+		found = true
+		// The chain must name the seed, the hand-off into shape (the
+		// function stored in the Emit field), and the sink.
+		for _, part := range []string{"secret Key", "arg v to victim.shape", "branch"} {
+			if !strings.Contains(d.Message, part) {
+				t.Errorf("chain missing %q in %q", part, d.Message)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("planted branch through the function-valued field was not flagged; diagnostics: %v", res.Diagnostics)
+	}
+
+	for _, d := range res.Diagnostics {
+		if strings.Contains(d.File, "harness") {
+			t.Errorf("finding reported outside the analyzer's Match scope: %v", d)
+		}
+	}
+	if res.Suppressed == 0 {
+		t.Error("the allow-directive case in Debug was not suppressed")
+	}
+}
+
+// TestSecretflowStaleDirectives pins the stale-directive scan: unused
+// secret/leaky/allow directives and malformed or unknown-analyzer
+// directives are warned about, while every used directive is not.
+func TestSecretflowStaleDirectives(t *testing.T) {
+	res := loadSecretflowFixture(t)
+
+	wantSubstrings := []string{
+		`stale //metalint:secret Ghost`,
+		`stale //metalint:leaky addr`,
+		`unknown analyzer "nosuchanalyzer"`,
+		`malformed //metalint:allow`,
+	}
+	for _, want := range wantSubstrings {
+		found := false
+		for _, d := range res.Stale {
+			if strings.Contains(d.Message, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing stale warning containing %q; have %v", want, res.Stale)
+		}
+	}
+	if len(res.Stale) != len(wantSubstrings) {
+		t.Errorf("want exactly %d stale warnings, got %d: %v", len(wantSubstrings), len(res.Stale), res.Stale)
+	}
+}

@@ -1,0 +1,31 @@
+// Package harness is outside secretflow's reporting scope: taint
+// still propagates into it (analysis is whole-program), but findings
+// here must not be reported — Match gates reporting, not analysis.
+package harness
+
+import "internal/victim"
+
+// Run branches on a value that is tainted across the package
+// boundary; no diagnostic may appear for this file.
+func Run(d *victim.Device) int {
+	if victim.Weight(d) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// Clean branches on Process's result, which is untainted (classify
+// returns constants) — pinning that taint does not smear through
+// clean results.
+func Clean(d *victim.Device) int {
+	if victim.Process(d) == 1 {
+		return 1
+	}
+	return 0
+}
+
+//metalint:allow nosuchanalyzer this name is unknown and must be warned about
+var x = 1
+
+//metalint:allow
+var y = 2

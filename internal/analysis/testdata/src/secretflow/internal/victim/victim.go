@@ -1,0 +1,122 @@
+// Package victim is the secretflow fixture: a miniature keyed device
+// whose secret must reach sinks only at declared leaky sites. It plants
+// two undeclared secret-dependent branches — one reached through a
+// function-valued field (the mpi.Hooks pattern) — and a set of
+// annotated sites covering every sink kind for the inventory golden.
+package victim
+
+// Device models a keyed victim.
+type Device struct {
+	//metalint:secret Key -- long-term key material
+	Key  []byte
+	Mask int
+}
+
+// Hooks carries an observer callback through a function-valued field;
+// taint must follow the value stored in Emit, not the field's type.
+type Hooks struct {
+	Emit func(v int) int
+}
+
+// derive is interprocedural hop 1: the secret leaves the struct through
+// a helper's return value. The loop bound and index are public (fixed
+// count, loop counter), so derive itself is silent.
+func derive(d *Device) int {
+	sum := 0
+	for i := 0; i < 4; i++ {
+		sum += int(d.Key[i])
+	}
+	return sum
+}
+
+// shape is only ever reached through the Hooks.Emit field. The branch
+// below is a planted finding: it exists for the analyzer only if the
+// call through the field was resolved and the argument taint
+// propagated into shape's parameter.
+func shape(v int) int {
+	if v > 128 {
+		return v - 128
+	}
+	return v
+}
+
+// classify is interprocedural hop 3, a plain static call.
+func classify(v int) int {
+	if v&1 == 1 {
+		return 1
+	}
+	return 0
+}
+
+// Process wires the hops: secret -> derive -> Emit field -> classify.
+// Its own result is clean (classify returns constants), so callers of
+// Process stay untainted.
+func Process(d *Device) int {
+	h := Hooks{Emit: shape}
+	v := h.Emit(derive(d))
+	return classify(v)
+}
+
+// Weight exposes a tainted value across the package boundary; the
+// harness package branches on it, which must stay unreported because
+// harness is outside the analyzer's reporting scope.
+func Weight(d *Device) int {
+	return derive(d)
+}
+
+var table [256]int
+
+// Lookup is a declared leak: a table indexed by a key byte.
+func Lookup(d *Device) int {
+	//metalint:leaky addr table indexed by a key byte
+	return table[d.Key[0]]
+}
+
+// Pad is two declared leaks: an allocation sized by the secret length
+// and a variadic spread of the secret bytes.
+func Pad(d *Device) []byte {
+	n := len(d.Key)
+	//metalint:leaky alloc output sized by the secret length
+	out := make([]byte, 0, n)
+	//metalint:leaky access-sequence secret bytes copied behind the pad
+	out = append(out, d.Key...)
+	return out
+}
+
+// Mix is two declared leaks: a trip count proportional to the key
+// length, and a branch whose multi-line condition is covered by a
+// directive on the line above the statement.
+func Mix(d *Device) int {
+	acc := 0
+	//metalint:leaky trip-count mixing loop runs once per key byte
+	for i := 0; i < len(d.Key); i++ {
+		acc += int(d.Key[i])
+	}
+	//metalint:leaky branch-skew accumulated parity gates the result
+	if acc&d.Mask != 0 &&
+		acc > 0 {
+		return 1
+	}
+	return 0
+}
+
+// Debug's branch is secret-dependent but human-judged acceptable for
+// the fixture; the allow directive must suppress it (and count as
+// used, not stale).
+func Debug(d *Device) int {
+	//metalint:allow secretflow fixture: debug-only emptiness probe
+	if len(d.Key) == 0 {
+		return 0
+	}
+	return 1
+}
+
+// Stale directives, kept deliberately: the stale-directive scan must
+// flag each of these (asserted in secretflow_test.go). None of them
+// affects the diagnostics golden.
+
+//metalint:secret Ghost -- names no declaration on this or the next line
+var Exported = 1
+
+//metalint:leaky addr covers no secret-dependent site
+var ExportedToo = 2

@@ -200,12 +200,14 @@ func (c *CovertT) signal(plan *evictionPlan, b arch.BlockID) {
 
 // SendBit runs one bit window of the protocol and returns the spy's
 // decoded bit.
+//
+//metalint:secret bit -- the covert payload: the trojan's whole purpose is to leak it
 func (c *CovertT) SendBit(bit bool) bool {
 	// Spy: mEvict both shared nodes.
 	c.txMon.Evict()
 	c.bdMon.Evict()
 	// Trojan: always mark the boundary; touch the transmission node for 1.
-	if bit {
+	if bit { //metalint:leaky itree-node the channel itself: the tx node is touched only for a 1 bit
 		c.signal(c.txPlan, c.txBlock)
 	}
 	c.signal(c.bdPlan, c.bdBlock)
@@ -216,7 +218,7 @@ func (c *CovertT) SendBit(bit bool) bool {
 		c.BoundaryMiss++
 	}
 	c.BitsSent++
-	if got != bit {
+	if got != bit { //metalint:leaky out-of-model self-check comparing decoded bit to sent bit
 		c.BitErrors++
 	}
 	return got
@@ -293,11 +295,13 @@ func (c *CovertC) MaxSymbol() int { return int(c.Spy.MinorMax()) - 1 }
 
 // SendSymbol transmits one symbol (0 <= s <= MaxSymbol) and returns the
 // spy's decoded value.
+//
+//metalint:secret s -- the covert payload symbol, transmitted as a counter-bump count
 func (c *CovertC) SendSymbol(s int) (int, error) {
-	if s < 0 || s > c.MaxSymbol() {
+	if s < 0 || s > c.MaxSymbol() { //metalint:leaky out-of-model input validation of the symbol; rejects out-of-range values
 		return 0, fmt.Errorf("core: symbol %d out of range [0,%d]", s, c.MaxSymbol())
 	}
-	for i := 0; i < s; i++ {
+	for i := 0; i < s; i++ { //metalint:leaky ctr-bump the channel itself: s counter bumps encode the symbol
 		c.Trojan.Bump()
 	}
 	m, err := c.Spy.ProbeOverflow(int(c.Spy.MinorMax()) + 2)
@@ -307,7 +311,7 @@ func (c *CovertC) SendSymbol(s int) (int, error) {
 	got := int(c.Spy.MinorMax()) - m
 	c.Trace = append(c.Trace, m)
 	c.SymbolsSent++
-	if got != s {
+	if got != s { //metalint:leaky out-of-model self-check comparing decoded symbol to sent symbol
 		c.SymbolErrors++
 	}
 	return got, nil
@@ -318,7 +322,7 @@ func (c *CovertC) Send(symbols []int) ([]int, error) {
 	out := make([]int, len(symbols))
 	for i, s := range symbols {
 		got, err := c.SendSymbol(s)
-		if err != nil {
+		if err != nil { //metalint:leaky out-of-model error propagation embeds the rejected symbol value
 			return nil, err
 		}
 		out[i] = got
@@ -367,11 +371,11 @@ func (c *CovertC) SendBytes(msg []byte) ([]byte, error) {
 	out := make([]byte, len(msg))
 	for i, b := range msg {
 		hi, err := c.SendSymbol(int(b >> 6))
-		if err != nil {
+		if err != nil { //metalint:leaky out-of-model error propagation embeds the rejected symbol value
 			return nil, err
 		}
 		lo, err := c.SendSymbol(int(b & 63))
-		if err != nil {
+		if err != nil { //metalint:leaky out-of-model error propagation embeds the rejected symbol value
 			return nil, err
 		}
 		out[i] = byte(hi<<6 | lo&63)

@@ -41,9 +41,14 @@ func DefaultConfig() Config {
 
 // Engine is the security engine. Not safe for concurrent use.
 type Engine struct {
-	cfg   Config
-	aes   cipher.Block
-	h     [2]uint64 // GHASH subkey H (big-endian halves)
+	cfg Config
+	aes cipher.Block
+	// h is the GHASH subkey H (big-endian halves). Deliberately not a
+	// //metalint:secret seed: MAC outputs are integrity metadata stored
+	// in public memory, so h-derived values legitimately reach every
+	// counter and tree node the attacker observes — in the paper's
+	// model the subkey is not what the channels recover.
+	h     [2]uint64
 	fastK uint64
 }
 

@@ -454,7 +454,7 @@ func (st *coordState) reapSilent() {
 
 // shutdown drains every surviving worker and closes the connections.
 func (st *coordState) shutdown() {
-	for wc := range st.workers { //metalint:allow maporder drain order is invisible: every worker gets the same frame
+	for wc := range st.workers { // drain order is invisible: every worker gets the same frame
 		wc.conn.SetWriteDeadline(time.Now().Add(time.Second)) //metalint:allow wallclock write deadline guards against a wedged host process
 		WriteFrame(wc.conn, Frame{Type: FrameDrain})
 		wc.conn.Close()

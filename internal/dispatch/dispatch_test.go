@@ -168,8 +168,12 @@ func TestDispatchDropReLease(t *testing.T) {
 		}
 		return false
 	}
+	// Both workers share the one-shot hook: the steal schedule decides
+	// which of them is dealt cell 4, so pinning the hook to one worker
+	// would make the test hinge on that race. Whichever worker holds
+	// the lease drops; the other survives and absorbs the re-deal.
 	wgA := startWorker(t, ctx, ln.Addr().String(), "dropper", testSession(testJob{Mult: 2}, nil, dropOnce))
-	wgB := startWorker(t, ctx, ln.Addr().String(), "survivor", testSession(testJob{Mult: 2}, nil, nil))
+	wgB := startWorker(t, ctx, ln.Addr().String(), "survivor", testSession(testJob{Mult: 2}, nil, dropOnce))
 	settled, err := co.Run(ctx, ln)
 	if err != nil {
 		t.Fatal(err)

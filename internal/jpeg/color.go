@@ -85,10 +85,10 @@ func ycbcrToRGB(yy, cb, cr float64) (uint8, uint8, uint8) {
 	g := yy - 0.344136*(cb-128) - 0.714136*(cr-128)
 	b := yy + 1.772*(cb-128)
 	clamp := func(v float64) uint8 {
-		if v < 0 {
+		if v < 0 { //metalint:leaky access-sequence sample clamp branches on pixel-derived values on the encode path
 			return 0
 		}
-		if v > 255 {
+		if v > 255 { //metalint:leaky access-sequence sample clamp branches on pixel-derived values on the encode path
 			return 255
 		}
 		return uint8(v + 0.5)
@@ -177,7 +177,7 @@ func EncodeColorFile(w io.Writer, im *ImageRGB, quality int) error {
 			for comp := 0; comp < 3; comp++ {
 				block := quantizePlane(samplers[comp], bx, by, quants[comp])
 				dc, err := e.encodeOneBlock(bw, &block, lastDC[comp])
-				if err != nil {
+				if err != nil { //metalint:leaky out-of-model encode error propagation
 					return err
 				}
 				lastDC[comp] = dc
@@ -228,9 +228,9 @@ func EncodeColorFile(w io.Writer, im *ImageRGB, quality int) error {
 	dht = append(dht, acLumValues...)
 	segment(mDHT, dht)
 	segment(mSOS, []byte{3, 1, 0x00, 2, 0x00, 3, 0x00, 0, 63, 0})
-	for _, b := range bw.flush() {
+	for _, b := range bw.flush() { //metalint:leaky access-sequence entropy-coded byte count depends on image content
 		buf.WriteByte(b)
-		if b == 0xff {
+		if b == 0xff { //metalint:leaky access-sequence 0xFF byte stuffing follows the entropy-coded bytes
 			buf.WriteByte(0x00)
 		}
 	}

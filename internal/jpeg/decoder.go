@@ -47,28 +47,28 @@ func decodeOneBlock(r *bitReader, lastDC int) ([dctSize2]int, int, error) {
 	block[0] = lastDC
 	// AC.
 	k := 1
-	for k < dctSize2 {
+	for k < dctSize2 { //metalint:leaky out-of-model decode-side ground-truth tooling; consumes the victim's own bitstream
 		sym, err := r.decodeSymbol(acTable)
 		if err != nil {
 			return block, 0, err
 		}
-		if sym == 0x00 { // EOB
+		if sym == 0x00 { //metalint:leaky out-of-model EOB marker; decode-side ground-truth tooling on the victim's own bitstream
 			break
 		}
 		run, size := int(sym>>4), sym&0xf
-		if sym == 0xf0 { // ZRL
+		if sym == 0xf0 { //metalint:leaky out-of-model ZRL marker; decode-side ground-truth tooling on the victim's own bitstream
 			k += 16
 			continue
 		}
 		k += run
-		if k >= dctSize2 {
+		if k >= dctSize2 { //metalint:leaky out-of-model decode-side ground-truth tooling; consumes the victim's own bitstream
 			break
 		}
 		bits, err := r.readBits(size)
 		if err != nil {
 			return block, 0, err
 		}
-		block[jpegNaturalOrder[k]] = extend(bits, size)
+		block[jpegNaturalOrder[k]] = extend(bits, size) //metalint:leaky out-of-model decode-side ground-truth tooling; consumes the victim's own bitstream
 		k++
 	}
 	return block, lastDC, nil
@@ -80,7 +80,7 @@ func RenderBlocks(blocks [][dctSize2]int, w, h, quality int) *Image {
 	quant := QuantTable(quality)
 	im := NewImage(w, h)
 	bw := (w + 7) / 8
-	for i, block := range blocks {
+	for i, block := range blocks { //metalint:leaky out-of-model decode-side ground-truth tooling; consumes the victim's own bitstream
 		bx, by := i%bw, i/bw
 		var coefs [dctSize2]float64
 		for j := 0; j < dctSize2; j++ {
@@ -90,10 +90,10 @@ func RenderBlocks(blocks [][dctSize2]int, w, h, quality int) *Image {
 		for y := 0; y < 8; y++ {
 			for x := 0; x < 8; x++ {
 				v := samples[y*8+x] + 128
-				if v < 0 {
+				if v < 0 { //metalint:leaky out-of-model decode-side ground-truth tooling; consumes the victim's own bitstream
 					v = 0
 				}
-				if v > 255 {
+				if v > 255 { //metalint:leaky out-of-model decode-side ground-truth tooling; consumes the victim's own bitstream
 					v = 255
 				}
 				im.Set(bx*8+x, by*8+y, uint8(v))

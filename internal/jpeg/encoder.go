@@ -86,7 +86,7 @@ func (e *Encoder) Encode(im *Image) (*Result, error) {
 			res.Blocks = append(res.Blocks, block)
 			var err error
 			lastDC, err = e.encodeOneBlock(w, &block, lastDC)
-			if err != nil {
+			if err != nil { //metalint:leaky out-of-model encode error propagation
 				return nil, err
 			}
 		}
@@ -114,7 +114,7 @@ func (e *Encoder) encodeOneBlock(w *bitWriter, block *[dctSize2]int, lastDC int)
 	// Encode the AC coefficients (the leaky loop).
 	r := 0
 	for k := 1; k < dctSize2; k++ {
-		if block[jpegNaturalOrder[k]] == 0 {
+		if block[jpegNaturalOrder[k]] == 0 { //metalint:leaky access-sequence Listing 1: the zero-coefficient skip the secmem channel observes via the r/nbits stores
 			r++ // touches r's page
 			e.Hooks.zero(k)
 		} else {

@@ -74,7 +74,7 @@ type bitReader struct {
 
 func (r *bitReader) readBit() (uint32, error) {
 	if r.bits == 0 {
-		if r.pos >= len(r.buf) {
+		if r.pos >= len(r.buf) { //metalint:leaky out-of-model decode-side bit reader (ground-truth tooling)
 			return 0, fmt.Errorf("jpeg: bitstream exhausted")
 		}
 		r.acc = uint32(r.buf[r.pos])
@@ -87,7 +87,7 @@ func (r *bitReader) readBit() (uint32, error) {
 
 func (r *bitReader) readBits(n uint8) (uint32, error) {
 	var v uint32
-	for i := uint8(0); i < n; i++ {
+	for i := uint8(0); i < n; i++ { //metalint:leaky out-of-model decode-side bit reader (ground-truth tooling)
 		b, err := r.readBit()
 		if err != nil {
 			return 0, err
@@ -106,7 +106,7 @@ func (r *bitReader) decodeSymbol(t *huffTable) (byte, error) {
 			return 0, err
 		}
 		code = code<<1 | b
-		if sym, ok := t.dec[l<<24|code]; ok {
+		if sym, ok := t.dec[l<<24|code]; ok { //metalint:leaky out-of-model decode-side Huffman table walk (ground-truth tooling)
 			return sym, nil
 		}
 	}
@@ -119,13 +119,13 @@ func (r *bitReader) decodeSymbol(t *huffTable) (byte, error) {
 func magnitudeBits(v int) (uint8, uint32) {
 	nbits := uint8(0)
 	a := v
-	if a < 0 {
+	if a < 0 { //metalint:leaky access-sequence sign branch of the coefficient being entropy-coded
 		a = -a
 	}
-	for t := a; t > 0; t >>= 1 {
+	for t := a; t > 0; t >>= 1 { //metalint:leaky trip-count magnitude loop: one iteration per significant coefficient bit
 		nbits++
 	}
-	if v < 0 {
+	if v < 0 { //metalint:leaky access-sequence negative-value adjustment while entropy coding
 		v--
 	}
 	return nbits, uint32(v) & (1<<nbits - 1)
@@ -133,10 +133,10 @@ func magnitudeBits(v int) (uint8, uint32) {
 
 // extend inverts magnitudeBits per T.81 §F.2.2.1.
 func extend(v uint32, nbits uint8) int {
-	if nbits == 0 {
+	if nbits == 0 { //metalint:leaky out-of-model decode-side magnitude extension (ground-truth tooling)
 		return 0
 	}
-	if v < 1<<(nbits-1) {
+	if v < 1<<(nbits-1) { //metalint:leaky out-of-model decode-side magnitude extension (ground-truth tooling)
 		return int(v) - (1 << nbits) + 1
 	}
 	return int(v)

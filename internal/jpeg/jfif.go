@@ -26,7 +26,7 @@ const (
 // EncodeFile compresses the image and writes a complete JFIF file.
 func (e *Encoder) EncodeFile(w io.Writer, im *Image) error {
 	res, err := e.Encode(im)
-	if err != nil {
+	if err != nil { //metalint:leaky out-of-model encode error propagation
 		return err
 	}
 	return WriteJFIF(w, res)
@@ -78,9 +78,9 @@ func WriteJFIF(w io.Writer, res *Result) error {
 	// SOS: one component, DC/AC table 0, full spectral range.
 	segment(mSOS, []byte{1, 1, 0x00, 0, 63, 0})
 	// Entropy data with byte stuffing: 0xFF -> 0xFF 0x00.
-	for _, b := range res.Data {
+	for _, b := range res.Data { //metalint:leaky access-sequence scan length depends on the entropy-coded stream
 		buf.WriteByte(b)
-		if b == 0xff {
+		if b == 0xff { //metalint:leaky access-sequence 0xFF stuffing follows the entropy-coded bytes
 			buf.WriteByte(0x00)
 		}
 	}
@@ -203,7 +203,7 @@ func decodeWithQuant(res *Result, quant *[dctSize2]int) (*Image, error) {
 	}
 	im := NewImage(res.W, res.H)
 	bw := (res.W + 7) / 8
-	for i, block := range blocks {
+	for i, block := range blocks { //metalint:leaky out-of-model decode-side render path (ground-truth tooling)
 		bx, by := i%bw, i/bw
 		var coefs [dctSize2]float64
 		for j := 0; j < dctSize2; j++ {
@@ -213,10 +213,10 @@ func decodeWithQuant(res *Result, quant *[dctSize2]int) (*Image, error) {
 		for y := 0; y < 8; y++ {
 			for x := 0; x < 8; x++ {
 				v := samples[y*8+x] + 128
-				if v < 0 {
+				if v < 0 { //metalint:leaky out-of-model decode-side render path (ground-truth tooling)
 					v = 0
 				}
-				if v > 255 {
+				if v > 255 { //metalint:leaky out-of-model decode-side render path (ground-truth tooling)
 					v = 255
 				}
 				im.Set(bx*8+x, by*8+y, uint8(v))

@@ -32,11 +32,11 @@ func FromBytes(b []byte) Int {
 // Bytes returns the big-endian magnitude (empty for zero).
 func (x Int) Bytes() []byte {
 	var out []byte
-	for i := len(x.abs) - 1; i >= 0; i-- {
-		l := x.abs[i]
+	for i := len(x.abs) - 1; i >= 0; i-- { //metalint:leaky trip-count per-limb walk of a secret integer
+		l := x.abs[i] //metalint:leaky addr digit/limb access into a secret integer
 		out = append(out, byte(l>>24), byte(l>>16), byte(l>>8), byte(l))
 	}
-	for len(out) > 0 && out[0] == 0 {
+	for len(out) > 0 && out[0] == 0 { //metalint:leaky trip-count per-limb walk of a secret integer
 		out = out[1:]
 	}
 	return out
@@ -64,23 +64,23 @@ func FromHex(s string) Int {
 
 // String renders the value in hexadecimal.
 func (x Int) String() string {
-	if x.abs.isZero() {
+	if x.abs.isZero() { //metalint:leaky access-sequence sign/parity/compare branch on a secret integer
 		return "0"
 	}
 	var sb strings.Builder
-	if x.neg {
+	if x.neg { //metalint:leaky access-sequence sign/parity/compare branch on a secret integer
 		sb.WriteByte('-')
 	}
 	digits := "0123456789abcdef"
 	started := false
-	for i := len(x.abs) - 1; i >= 0; i-- {
+	for i := len(x.abs) - 1; i >= 0; i-- { //metalint:leaky trip-count per-limb walk of a secret integer
 		for sh := 28; sh >= 0; sh -= 4 {
-			d := (x.abs[i] >> uint(sh)) & 0xf
-			if !started && d == 0 {
+			d := (x.abs[i] >> uint(sh)) & 0xf //metalint:leaky addr digit/limb access into a secret integer
+			if !started && d == 0 { //metalint:leaky access-sequence sign/parity/compare branch on a secret integer
 				continue
 			}
 			started = true
-			sb.WriteByte(digits[d])
+			sb.WriteByte(digits[d]) //metalint:leaky addr digit/limb access into a secret integer
 		}
 	}
 	return sb.String()
@@ -88,10 +88,10 @@ func (x Int) String() string {
 
 // Sign returns -1, 0, or +1.
 func (x Int) Sign() int {
-	if x.abs.isZero() {
+	if x.abs.isZero() { //metalint:leaky access-sequence sign/parity/compare branch on a secret integer
 		return 0
 	}
-	if x.neg {
+	if x.neg { //metalint:leaky access-sequence sign/parity/compare branch on a secret integer
 		return -1
 	}
 	return 1
@@ -112,10 +112,10 @@ func (x Int) Bit(i int) uint { return x.abs.bit(i) }
 // Uint64 returns the low 64 bits of |x|.
 func (x Int) Uint64() uint64 {
 	var v uint64
-	if len(x.abs) > 0 {
+	if len(x.abs) > 0 { //metalint:leaky access-sequence sign/parity/compare branch on a secret integer
 		v = uint64(x.abs[0])
 	}
-	if len(x.abs) > 1 {
+	if len(x.abs) > 1 { //metalint:leaky access-sequence sign/parity/compare branch on a secret integer
 		v |= uint64(x.abs[1]) << 32
 	}
 	return v
@@ -128,7 +128,7 @@ func (x Int) Cmp(y Int) int {
 		return -1
 	case x.Sign() > y.Sign():
 		return 1
-	case x.neg:
+	case x.neg: //metalint:leaky access-sequence sign/parity/compare branch on a secret integer
 		return y.abs.cmp(x.abs)
 	default:
 		return x.abs.cmp(y.abs)
@@ -136,7 +136,7 @@ func (x Int) Cmp(y Int) int {
 }
 
 func mk(neg bool, a nat) Int {
-	if a.isZero() {
+	if a.isZero() { //metalint:leaky access-sequence sign/parity/compare branch on a secret integer
 		return Int{}
 	}
 	return Int{neg: neg, abs: a}
@@ -147,7 +147,7 @@ func (x Int) Neg() Int { return mk(!x.neg, x.abs) }
 
 // Add returns x + y.
 func (x Int) Add(y Int) Int {
-	if x.neg == y.neg {
+	if x.neg == y.neg { //metalint:leaky access-sequence sign/parity/compare branch on a secret integer
 		return mk(x.neg, x.abs.add(y.abs))
 	}
 	if x.abs.cmp(y.abs) >= 0 {
@@ -181,7 +181,7 @@ func (x Int) QuoRem(y Int) (Int, Int) {
 // Mod returns the Euclidean remainder x mod y, always in [0, |y|).
 func (x Int) Mod(y Int) Int {
 	_, r := x.QuoRem(y)
-	if r.neg {
+	if r.neg { //metalint:leaky access-sequence sign/parity/compare branch on a secret integer
 		r = r.Add(mk(false, y.abs))
 	}
 	return r

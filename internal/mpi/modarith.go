@@ -38,16 +38,18 @@ func (h *Hooks) subtract() {
 // ModExp computes base^exp mod m by left-to-right square-and-multiply —
 // the libgcrypt 1.5.2 algorithm of Listing 2: every exponent bit squares;
 // every set bit additionally multiplies. Hooks fire per operation.
+//
+//metalint:secret exp -- the private exponent: the bit-sequence the paper's ctr channel recovers
 func ModExp(base, exp, m Int, h *Hooks) Int {
-	if m.IsZero() {
+	if m.IsZero() { //metalint:leaky access-sequence operand-dependent step in modular arithmetic
 		panic("mpi: modulus is zero")
 	}
 	r := New(1)
 	b := base.Mod(m)
-	for i := exp.BitLen() - 1; i >= 0; i-- {
+	for i := exp.BitLen() - 1; i >= 0; i-- { //metalint:leaky trip-count one iteration per exponent bit: BitLen sets Listing 2's outer schedule
 		h.square()
 		r = r.Sqr().Mod(m)
-		if exp.Bit(i) == 1 {
+		if exp.Bit(i) == 1 { //metalint:leaky access-sequence the flagship leak: a multiply happens only for set exponent bits (Listing 2; recovered by the ctr channel)
 			h.multiply()
 			r = r.Mul(b).Mod(m)
 		}
@@ -65,7 +67,7 @@ func ModExp(base, exp, m Int, h *Hooks) Int {
 // producing the operation trace the Fig. 17 attack recovers. It returns
 // ok=false when the inverse does not exist.
 func ModInverse(a, m Int, h *Hooks) (Int, bool) {
-	if m.IsZero() {
+	if m.IsZero() { //metalint:leaky access-sequence operand-dependent step in modular arithmetic
 		panic("mpi: ModInverse with zero modulus")
 	}
 	if m.Cmp(New(1)) == 0 {
@@ -74,10 +76,10 @@ func ModInverse(a, m Int, h *Hooks) (Int, bool) {
 		return Int{}, true
 	}
 	a = a.Mod(m)
-	if a.IsZero() {
+	if a.IsZero() { //metalint:leaky access-sequence operand-dependent step in modular arithmetic
 		return Int{}, false
 	}
-	if !a.IsOdd() && !m.IsOdd() {
+	if !a.IsOdd() && !m.IsOdd() { //metalint:leaky access-sequence operand-dependent step in modular arithmetic
 		return Int{}, false // gcd is even
 	}
 	x, y := a, m
@@ -85,21 +87,21 @@ func ModInverse(a, m Int, h *Hooks) (Int, bool) {
 	bigA, bigB := New(1), New(0)
 	bigC, bigD := New(0), New(1)
 	// Invariants: A*x + B*y == u, C*x + D*y == v.
-	for !u.IsZero() {
-		for !u.IsOdd() {
+	for !u.IsZero() { //metalint:leaky trip-count trip count follows operand bit/limb structure
+		for !u.IsOdd() { //metalint:leaky trip-count trip count follows operand bit/limb structure
 			h.shift()
 			u = u.Shr(1)
-			if !bigA.IsOdd() && !bigB.IsOdd() {
+			if !bigA.IsOdd() && !bigB.IsOdd() { //metalint:leaky access-sequence operand-dependent step in modular arithmetic
 				bigA, bigB = bigA.Shr(1), bigB.Shr(1)
 			} else {
 				bigA = bigA.Add(y).Shr(1)
 				bigB = bigB.Sub(x).Shr(1)
 			}
 		}
-		for !v.IsOdd() {
+		for !v.IsOdd() { //metalint:leaky trip-count trip count follows operand bit/limb structure
 			h.shift()
 			v = v.Shr(1)
-			if !bigC.IsOdd() && !bigD.IsOdd() {
+			if !bigC.IsOdd() && !bigD.IsOdd() { //metalint:leaky access-sequence operand-dependent step in modular arithmetic
 				bigC, bigD = bigC.Shr(1), bigD.Shr(1)
 			} else {
 				bigC = bigC.Add(y).Shr(1)
@@ -127,7 +129,7 @@ func ModInverse(a, m Int, h *Hooks) (Int, bool) {
 // GCD returns the greatest common divisor of |x| and |y|.
 func GCD(x, y Int) Int {
 	a, b := mk(false, x.abs), mk(false, y.abs)
-	for !b.IsZero() {
+	for !b.IsZero() { //metalint:leaky trip-count trip count follows operand bit/limb structure
 		a, b = b, a.Mod(b)
 	}
 	return a
@@ -136,17 +138,17 @@ func GCD(x, y Int) Int {
 // Random returns a uniformly random value with exactly the given bit
 // length (top bit set), drawn from the deterministic generator.
 func Random(rng *arch.RNG, bitLen int) Int {
-	if bitLen <= 0 {
+	if bitLen <= 0 { //metalint:leaky access-sequence operand-dependent step in modular arithmetic
 		return Int{}
 	}
 	limbs := (bitLen + 31) / 32
-	x := make(nat, limbs)
-	for i := range x {
-		x[i] = uint32(rng.Uint64())
+	x := make(nat, limbs) //metalint:leaky addr workspace sized by the modulus
+	for i := range x { //metalint:leaky trip-count trip count follows operand bit/limb structure
+		x[i] = uint32(rng.Uint64()) //metalint:leaky addr limb addressing follows operand size
 	}
 	top := uint(bitLen-1) % 32
-	x[limbs-1] &= (1 << (top + 1)) - 1
-	x[limbs-1] |= 1 << top
+	x[limbs-1] &= (1 << (top + 1)) - 1 //metalint:leaky addr limb addressing follows operand size
+	x[limbs-1] |= 1 << top //metalint:leaky addr limb addressing follows operand size
 	return Int{abs: x.norm()}
 }
 
@@ -156,13 +158,13 @@ func IsProbablePrime(p Int, rounds int, rng *arch.RNG) bool {
 	if p.Cmp(New(4)) < 0 {
 		return p.Cmp(New(2)) == 0 || p.Cmp(New(3)) == 0
 	}
-	if !p.IsOdd() {
+	if !p.IsOdd() { //metalint:leaky access-sequence operand-dependent step in modular arithmetic
 		return false
 	}
 	// p - 1 = d * 2^s
 	d := p.Sub(New(1))
 	s := 0
-	for !d.IsOdd() {
+	for !d.IsOdd() { //metalint:leaky trip-count trip count follows operand bit/limb structure
 		d = d.Shr(1)
 		s++
 	}
@@ -192,7 +194,7 @@ func IsProbablePrime(p Int, rounds int, rng *arch.RNG) bool {
 func RandomPrime(rng *arch.RNG, bitLen int) Int {
 	for {
 		cand := Random(rng, bitLen)
-		if !cand.IsOdd() {
+		if !cand.IsOdd() { //metalint:leaky access-sequence operand-dependent step in modular arithmetic
 			cand = cand.Add(New(1))
 		}
 		if IsProbablePrime(cand, 12, rng) {

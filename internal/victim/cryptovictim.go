@@ -73,6 +73,8 @@ func NewKeyLoadVictim(p *Proc) *KeyLoadVictim {
 // LoadKey derives the private exponent from the RSA primes and public
 // exponent, yielding around every shift and subtract. It returns d and
 // the ground-truth operation trace.
+//
+//metalint:secret p,q -- the RSA primes: the itree channel recovers the shift/sub schedule they drive
 func (v *KeyLoadVictim) LoadKey(p, q, e mpi.Int, iv *Interleave) (mpi.Int, []Op, error) {
 	var trace []Op
 	pending := false

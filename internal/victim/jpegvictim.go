@@ -73,7 +73,7 @@ func (v *JPEGVictim) Encode(im *jpeg.Image, iv *Interleave) (*jpeg.Result, *Coef
 	if pending {
 		iv.after()
 	}
-	if err != nil {
+	if err != nil { //metalint:leaky out-of-model encode error path; image-dependent only through bitstream failures
 		return nil, nil, err
 	}
 	return res, trace, nil
