@@ -1,0 +1,27 @@
+package analysis
+
+import (
+	"testing"
+)
+
+func TestVariadicZeroArgBinding(t *testing.T) {
+	loader := NewLoader(Config{Dir: "/tmp/vfix"})
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := FirstTypeErrors(pkgs, 5); len(errs) > 0 {
+		t.Fatalf("fixture does not type-check: %v", errs)
+	}
+	sf := ByName("secretflow")
+	orig := sf.Match
+	sf.Match = nil
+	defer func() { sf.Match = orig }()
+	res := Run(pkgs, []*Analyzer{sf})
+	for _, d := range res.Diagnostics {
+		t.Logf("diag: %s", d)
+	}
+	if len(res.Diagnostics) == 0 {
+		t.Errorf("no diagnostic for secret-dependent branch through variadic call with zero variadic args")
+	}
+}
