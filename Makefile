@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet metalint lint-inventory secretflow-test test dispatch-race fuzz-smoke bench
+.PHONY: check build vet metalint lint-inventory secretflow-test test dispatch-race fuzz-smoke bench bench-json bench-gate
 
 check: vet metalint lint-inventory secretflow-test test dispatch-race
 
@@ -51,3 +51,17 @@ fuzz-smoke:
 # machine (the outputs are byte-identical either way).
 bench:
 	$(GO) test -run='^$$' -bench='^BenchmarkRunAll' -benchtime=1x .
+
+# Substrate microbenchmarks + fixed-grid sweep throughput as a
+# machine-readable record (DESIGN.md §11). bench-json refreshes the
+# current PR's committed record; bench-gate re-measures and fails if any
+# microbenchmark's ns/op regressed >10% against the newest committed
+# BENCH_*.json. Host-time measurements: outside the determinism contract.
+BENCH_LATEST = $(lastword $(sort $(wildcard BENCH_*.json)))
+
+bench-json:
+	$(GO) run ./cmd/metaleak bench -baseline -out BENCH_8.json
+
+bench-gate:
+	@test -n "$(BENCH_LATEST)" || { echo "bench-gate: no committed BENCH_*.json to compare against"; exit 1; }
+	$(GO) run ./cmd/metaleak bench -gate $(BENCH_LATEST)

@@ -15,6 +15,7 @@
 //	metaleak trace jpeg|rsa      [-csv] [-bin FILE]
 //	metaleak trace replay FILE   [-csv] [-bin OUT]
 //	metaleak chaos               [-seed N] [-v]
+//	metaleak bench               [-json] [-out FILE] [-gate FILE [-tol PCT]]
 //
 // Flags may be interleaved with positional arguments (`run fig6 -par 4`
 // works). -par bounds how many trials run concurrently; results are
@@ -117,6 +118,8 @@ func run(ctx context.Context, args []string) error {
 		return traceCmd(args[1:])
 	case "chaos":
 		return chaosCmd(ctx, args[1:])
+	case "bench":
+		return benchCmd(args[1:])
 	default:
 		usage()
 		return fmt.Errorf("unknown command %q", args[0])
@@ -591,6 +594,7 @@ func usage() {
        metaleak trace jpeg|rsa [-csv] [-bin FILE]
        metaleak trace replay FILE [-csv] [-bin OUT]
        metaleak chaos [-seed N] [-v]
+       metaleak bench [-json] [-out FILE] [-gate FILE [-tol PCT]] [-baseline]
 
 run and sweep accept -faults SPEC (fault plan, DESIGN.md §8),
 -retries N, and -trial-timeout D; chaos self-tests the fault engine.

@@ -71,10 +71,17 @@ type Cache struct {
 
 // New builds a cache from the configuration. It panics on a configuration
 // that does not describe a whole power-of-two number of sets, since the
-// index function relies on it.
+// index function relies on it, or whose size is not an exact multiple of
+// BlockSize×Ways — integer truncation in Sets() would otherwise silently
+// shrink capacity whenever the truncated set count happens to land on a
+// power of two.
 func New(cfg Config) *Cache {
 	if cfg.Ways <= 0 || cfg.SizeBytes <= 0 {
 		panic(fmt.Sprintf("cache %s: invalid config %+v", cfg.Name, cfg))
+	}
+	if cfg.SizeBytes%(arch.BlockSize*cfg.Ways) != 0 {
+		panic(fmt.Sprintf("cache %s: size %d B is not a multiple of block size %d x %d ways",
+			cfg.Name, cfg.SizeBytes, arch.BlockSize, cfg.Ways))
 	}
 	n := cfg.Sets()
 	if n <= 0 || n&(n-1) != 0 {

@@ -176,3 +176,14 @@ func TestInvalidConfigPanics(t *testing.T) {
 	}()
 	New(Config{Name: "bad", SizeBytes: 3 * 64, Ways: 1, HitLatency: 1})
 }
+
+func TestNewRejectsNonDivisibleGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-divisible geometry")
+		}
+	}()
+	// 24 KiB + 64 B over 3 ways truncates to a power-of-two set count
+	// (128) while silently dropping capacity; it must be rejected loudly.
+	New(Config{Name: "bad", SizeBytes: 24*1024 + 64, Ways: 3})
+}

@@ -49,7 +49,13 @@ type Engine struct {
 	// counter and tree node the attacker observes — in the paper's
 	// model the subkey is not what the channels recover.
 	h     [2]uint64
+	tbl   ghashTable
 	fastK uint64
+	// pad and seed are scratch buffers for otp: the AES interface call
+	// forces its arguments to escape, so stack buffers would heap-allocate
+	// one pad per access. The engine is single-threaded by contract.
+	pad  Block
+	seed [16]byte
 }
 
 // New builds an engine. It panics on an invalid key length, which is a
@@ -71,10 +77,14 @@ func New(cfg Config) *Engine {
 	var zero, hb [16]byte
 	blk.Encrypt(hb[:], zero[:])
 	if cfg.MACKey != nil {
+		if len(cfg.MACKey) != 16 {
+			panic("crypto: MAC key must be 16 bytes")
+		}
 		copy(hb[:], cfg.MACKey)
 	}
 	e.h[0] = binary.BigEndian.Uint64(hb[0:8])
 	e.h[1] = binary.BigEndian.Uint64(hb[8:16])
+	e.tbl.init(e.h)
 	e.fastK = e.h[0] ^ e.h[1] | 1
 	return e
 }
@@ -85,11 +95,14 @@ func (e *Engine) AESLatency() arch.Cycles { return e.cfg.AESLatency }
 // HashLatency returns the modelled latency of one MAC or node hash.
 func (e *Engine) HashLatency() arch.Cycles { return e.cfg.HashLatency }
 
-// otp produces the 64-byte one-time pad for (block address, counter). Each
-// 16-byte chunk uses seed = chunkAddr ‖ ctr so that pads are unique both
-// spatially (address) and temporally (counter), per §IV-A.
-func (e *Engine) otp(b arch.BlockID, ctr uint64) Block {
-	var pad Block
+// otp fills the engine's pad scratch with the 64-byte one-time pad for
+// (block address, counter) and returns it. Each 16-byte chunk uses
+// seed = chunkAddr ‖ ctr so that pads are unique both spatially (address)
+// and temporally (counter), per §IV-A. The counter half of the seed is
+// written once for the whole cache-line fill; only the chunk-address half
+// changes between the four AES invocations.
+func (e *Engine) otp(b arch.BlockID, ctr uint64) *Block {
+	pad := &e.pad
 	if e.cfg.Fast {
 		for ck := 0; ck < chunksPerBlock; ck++ {
 			v := mix(uint64(b)<<2|uint64(ck), ctr, e.fastK)
@@ -99,28 +112,41 @@ func (e *Engine) otp(b arch.BlockID, ctr uint64) Block {
 		}
 		return pad
 	}
-	var seed [16]byte
+	seed := e.seed[:]
+	binary.BigEndian.PutUint64(seed[8:16], ctr)
+	base := uint64(b) << 2
 	for ck := 0; ck < chunksPerBlock; ck++ {
-		binary.BigEndian.PutUint64(seed[0:8], uint64(b)<<2|uint64(ck))
-		binary.BigEndian.PutUint64(seed[8:16], ctr)
-		e.aes.Encrypt(pad[ck*16:(ck+1)*16], seed[:])
+		binary.BigEndian.PutUint64(seed[0:8], base|uint64(ck))
+		e.aes.Encrypt(pad[ck*16:(ck+1)*16], seed)
 	}
 	return pad
 }
 
-// Encrypt produces the ciphertext of plain for the given address and
-// counter value (c = p XOR Enc_k(seed)).
-func (e *Engine) Encrypt(plain Block, b arch.BlockID, ctr uint64) Block {
+// EncryptTo produces the ciphertext of *plain into *dst
+// (c = p XOR Enc_k(seed)). dst and plain may alias each other but must
+// not alias the engine's internal pad (callers outside this package
+// cannot). This is the allocation-free path the controller uses.
+func (e *Engine) EncryptTo(dst, plain *Block, b arch.BlockID, ctr uint64) {
 	pad := e.otp(b, ctr)
-	var out Block
-	for i := range out {
-		out[i] = plain[i] ^ pad[i]
+	for i := range dst {
+		dst[i] = plain[i] ^ pad[i]
 	}
+}
+
+// DecryptTo inverts EncryptTo (counter-mode encryption is an involution
+// given the same seed).
+func (e *Engine) DecryptTo(dst, ct *Block, b arch.BlockID, ctr uint64) {
+	e.EncryptTo(dst, ct, b, ctr)
+}
+
+// Encrypt is the by-value convenience form of EncryptTo.
+func (e *Engine) Encrypt(plain Block, b arch.BlockID, ctr uint64) Block {
+	var out Block
+	e.EncryptTo(&out, &plain, b, ctr)
 	return out
 }
 
-// Decrypt inverts Encrypt (counter-mode encryption is an involution given
-// the same seed).
+// Decrypt inverts Encrypt.
 func (e *Engine) Decrypt(ct Block, b arch.BlockID, ctr uint64) Block {
 	return e.Encrypt(ct, b, ctr)
 }
@@ -129,15 +155,25 @@ func (e *Engine) Decrypt(ct Block, b arch.BlockID, ctr uint64) Block {
 // its address, and its counter: MAC_k(C, ctr, addr_b) as in the BMT design
 // of Rogers et al. that the paper's HT configuration follows.
 func (e *Engine) MAC(ct Block, b arch.BlockID, ctr uint64) uint64 {
+	return e.MACOf(&ct, b, ctr)
+}
+
+// MACOf is MAC without the 64-byte argument copy — the form the memory
+// controller uses on its stored ciphertext blocks.
+func (e *Engine) MACOf(ct *Block, b arch.BlockID, ctr uint64) uint64 {
 	if e.cfg.Fast {
 		h := e.fastK
 		for i := 0; i < arch.BlockSize; i += 8 {
 			h = mix(h, binary.LittleEndian.Uint64(ct[i:]), e.fastK)
 		}
-		return mix(h, uint64(b)^ctr<<1, e.fastK)
+		// Absorb address and counter as separate full-width words. Folding
+		// them as b^(ctr<<1) discarded the counter's MSB — exactly where
+		// MoC/GC epoch bits live — so two seeds differing only in bit 63
+		// collided and fast-mode tamper checks went blind to re-keys.
+		return mix(mix(h, uint64(b), e.fastK), ctr, e.fastK)
 	}
 	var g ghash
-	g.init(e.h)
+	g.init(&e.tbl)
 	for ck := 0; ck < chunksPerBlock; ck++ {
 		g.update(binary.BigEndian.Uint64(ct[ck*16:]), binary.BigEndian.Uint64(ct[ck*16+8:]))
 	}
@@ -162,7 +198,7 @@ func (e *Engine) HashBytes(data []byte) uint64 {
 	}
 	n := len(data)
 	var g ghash
-	g.init(e.h)
+	g.init(&e.tbl)
 	for len(data) >= 16 {
 		g.update(binary.BigEndian.Uint64(data), binary.BigEndian.Uint64(data[8:]))
 		data = data[16:]

@@ -177,3 +177,46 @@ func TestBadKeyPanics(t *testing.T) {
 	}()
 	New(Config{Key: []byte("short")})
 }
+
+func TestGhashTableMatchesBitSerial(t *testing.T) {
+	// The table-driven multiply must agree with the reference bit-serial
+	// gfMul for every subkey and operand — it is what keeps the optimized
+	// MAC/HashBytes byte-identical to the pre-optimization engine.
+	f := func(h0, h1, y0, y1 uint64) bool {
+		var tbl ghashTable
+		tbl.init([2]uint64{h0, h1})
+		y := [2]uint64{y0, y1}
+		tbl.mul(&y)
+		return y == gfMul([2]uint64{y0, y1}, [2]uint64{h0, h1})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMACDistinguishesTopBitCounters(t *testing.T) {
+	// Two seeds differing only in bit 63 — exactly where MoC/GC key-epoch
+	// bits live — must produce distinct tags in both engines. The fast
+	// path used to fold the counter as b ^ (ctr<<1), shifting the MSB out.
+	for _, e := range []*Engine{eng(), fast()} {
+		f := func(ct Block, addr uint16, c uint64) bool {
+			lo := c &^ (1 << 63)
+			hi := lo | 1<<63
+			return e.MAC(ct, arch.BlockID(addr), lo) != e.MAC(ct, arch.BlockID(addr), hi)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+			t.Fatalf("Fast=%v: %v", e.cfg.Fast, err)
+		}
+	}
+}
+
+func TestBadMACKeyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on short MAC key")
+		}
+	}()
+	// A short MACKey used to silently partial-copy over the derived
+	// subkey; it must be rejected like a short AES key.
+	New(Config{MACKey: []byte("short")})
+}

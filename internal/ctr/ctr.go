@@ -80,10 +80,16 @@ type SCConfig struct {
 	MinorBits uint // 7 in Table I
 }
 
-// pageCounters is the state of one counter block.
+// pageCounters is the state of one counter block. serial memoizes the
+// packed BlockBytes serialization — the 7-bit bit-packing is the single
+// hottest piece of counter arithmetic on the write path, and the packed
+// form only changes when a counter does (serialOK is cleared on every
+// mutation).
 type pageCounters struct {
-	major  uint64
-	minors [arch.BlocksPerPage]uint16
+	major    uint64
+	minors   [arch.BlocksPerPage]uint16
+	serial   [arch.BlockSize]byte
+	serialOK bool
 }
 
 // SC is the split-counter scheme.
@@ -158,6 +164,7 @@ func (s *SC) MinorValue(b arch.BlockID) uint64 {
 // group G_SC) must be re-encrypted.
 func (s *SC) Increment(b arch.BlockID) (uint64, *Overflow) {
 	pc := s.page(b.Page())
+	pc.serialOK = false
 	idx := b.Index()
 	if uint64(pc.minors[idx]) < s.MinorMax() {
 		pc.minors[idx]++
@@ -187,6 +194,7 @@ func (s *SC) Increment(b arch.BlockID) (uint64, *Overflow) {
 // b's own minor counter takes a one-bit flip.
 func (s *SC) CorruptCounter(b arch.BlockID, major bool) {
 	pc := s.page(b.Page())
+	pc.serialOK = false
 	if major {
 		pc.major ^= 1
 		return
@@ -199,7 +207,11 @@ func (s *SC) CorruptCounter(b arch.BlockID, major bool) {
 // minors (ablation configs) fall back to byte packing of the low 8 bits.
 func (s *SC) BlockBytes(cb arch.BlockID) [arch.BlockSize]byte {
 	pc := s.page(s.PageOfCounterBlock(cb))
-	var out [arch.BlockSize]byte
+	if pc.serialOK {
+		return pc.serial
+	}
+	pc.serial = [arch.BlockSize]byte{}
+	out := &pc.serial
 	binary.LittleEndian.PutUint64(out[0:8], pc.major)
 	if s.cfg.MinorBits == 7 {
 		bitOff := 0
@@ -213,12 +225,13 @@ func (s *SC) BlockBytes(cb arch.BlockID) [arch.BlockSize]byte {
 			}
 			bitOff += 7
 		}
-		return out
+	} else {
+		for i := 0; i < arch.BlocksPerPage && 8+i < arch.BlockSize; i++ {
+			out[8+i] = byte(pc.minors[i])
+		}
 	}
-	for i := 0; i < arch.BlocksPerPage && 8+i < arch.BlockSize; i++ {
-		out[8+i] = byte(pc.minors[i])
-	}
-	return out
+	pc.serialOK = true
+	return pc.serial
 }
 
 // ---------------------------------------------------------------------------
@@ -236,7 +249,13 @@ type MoC struct {
 	cfg      MoCConfig
 	counters map[arch.BlockID]uint64
 	epoch    uint64 // key epoch, bumped on overflow (whole-memory re-encrypt)
-	touched  map[arch.BlockID]struct{}
+	// touched records every block whose seed was ever observed (read or
+	// written). The controller materializes ciphertext for read-only blocks
+	// at the observed seed, and the seed embeds the key epoch — so a
+	// whole-memory re-key must re-encrypt ALL touched blocks, not just the
+	// ever-written ones, or the next read of a read-only block fails its
+	// MAC check as a phantom tamper detection.
+	touched map[arch.BlockID]struct{}
 }
 
 // NewMoC builds a monolithic-counter scheme. Bits of 0 selects 56 (SGX).
@@ -274,8 +293,12 @@ func (m *MoC) DataBlocksOf(cb arch.BlockID) []arch.BlockID {
 }
 
 // Value implements Scheme; the key epoch occupies the seed bits above the
-// counter so that re-keying changes every block's effective seed.
+// counter so that re-keying changes every block's effective seed. Every
+// queried block joins the touched set: handing out a seed is what lets the
+// controller materialize ciphertext under it, committing the block to the
+// current epoch until a re-key re-encrypts it.
 func (m *MoC) Value(b arch.BlockID) uint64 {
+	m.touched[b] = struct{}{}
 	return m.epoch<<m.cfg.Bits | m.counters[b]
 }
 
@@ -291,10 +314,13 @@ func (m *MoC) Increment(b arch.BlockID) (uint64, *Overflow) {
 	ov := &Overflow{}
 	oldEpoch := m.epoch
 	m.epoch++
-	// Re-encrypt in block order: the overflow burst becomes DRAM traffic,
-	// so its order must not depend on map iteration.
-	blocks := make([]arch.BlockID, 0, len(m.counters))
-	for blk := range m.counters {
+	// Re-encrypt every touched block, written or merely read: read-only
+	// blocks were materialized at the old epoch's seed and go stale under
+	// the new key exactly like written ones. In block order: the overflow
+	// burst becomes DRAM traffic, so its order must not depend on map
+	// iteration.
+	blocks := make([]arch.BlockID, 0, len(m.touched))
+	for blk := range m.touched {
 		if blk != b {
 			blocks = append(blocks, blk)
 		}
@@ -324,11 +350,13 @@ func (m *MoC) CorruptCounter(b arch.BlockID, major bool) {
 	m.counters[b] ^= 1
 }
 
-// BlockBytes implements Scheme.
+// BlockBytes implements Scheme. The slot loop mirrors DataBlocksOf
+// without materializing the slice.
 func (m *MoC) BlockBytes(cb arch.BlockID) [arch.BlockSize]byte {
 	var out [arch.BlockSize]byte
-	for i, db := range m.DataBlocksOf(cb) {
-		binary.LittleEndian.PutUint64(out[i*8:], m.counters[db])
+	base := arch.BlockID(uint64(cb-counterBase()) * ctrsPerBlock)
+	for i := 0; i < ctrsPerBlock; i++ {
+		binary.LittleEndian.PutUint64(out[i*8:], m.counters[base+arch.BlockID(i)])
 	}
 	return out
 }
@@ -349,6 +377,10 @@ type GC struct {
 	global    uint64
 	epoch     uint64
 	snapshots map[arch.BlockID]uint64 // value used at last encryption
+	// touched records every block whose seed was ever observed — see the
+	// MoC field of the same name: a whole-memory re-key must cover
+	// read-only materialized blocks too.
+	touched map[arch.BlockID]struct{}
 }
 
 // NewGC builds a global-counter scheme. Bits of 0 selects 32.
@@ -356,7 +388,11 @@ func NewGC(cfg GCConfig) *GC {
 	if cfg.Bits == 0 {
 		cfg.Bits = 32
 	}
-	return &GC{cfg: cfg, snapshots: make(map[arch.BlockID]uint64)}
+	return &GC{
+		cfg:       cfg,
+		snapshots: make(map[arch.BlockID]uint64),
+		touched:   make(map[arch.BlockID]struct{}),
+	}
 }
 
 // Name implements Scheme.
@@ -379,14 +415,17 @@ func (g *GC) DataBlocksOf(cb arch.BlockID) []arch.BlockID {
 	return out
 }
 
-// Value implements Scheme.
+// Value implements Scheme. Like MoC.Value, the queried block joins the
+// touched set so a later re-key re-encrypts it.
 func (g *GC) Value(b arch.BlockID) uint64 {
+	g.touched[b] = struct{}{}
 	return g.epoch<<g.cfg.Bits | g.snapshots[b]
 }
 
 // Increment implements Scheme. The shared counter advances on every write;
 // its overflow forces a key change and whole-memory re-encryption.
 func (g *GC) Increment(b arch.BlockID) (uint64, *Overflow) {
+	g.touched[b] = struct{}{}
 	if g.global < g.max() {
 		g.global++
 		g.snapshots[b] = g.global
@@ -396,10 +435,11 @@ func (g *GC) Increment(b arch.BlockID) (uint64, *Overflow) {
 	oldEpoch := g.epoch
 	g.epoch++
 	g.global = 0
-	// Re-encrypt in block order (see MoC.Increment): the burst's DRAM
-	// traffic order must not depend on map iteration.
-	blocks := make([]arch.BlockID, 0, len(g.snapshots))
-	for blk := range g.snapshots {
+	// Re-encrypt every touched block, read-only ones included (see
+	// MoC.Increment), in block order: the burst's DRAM traffic order must
+	// not depend on map iteration.
+	blocks := make([]arch.BlockID, 0, len(g.touched))
+	for blk := range g.touched {
 		if blk != b {
 			blocks = append(blocks, blk)
 		}
@@ -432,11 +472,13 @@ func (g *GC) CorruptCounter(b arch.BlockID, major bool) {
 	g.snapshots[b] ^= 1
 }
 
-// BlockBytes implements Scheme.
+// BlockBytes implements Scheme. The slot loop mirrors DataBlocksOf
+// without materializing the slice.
 func (g *GC) BlockBytes(cb arch.BlockID) [arch.BlockSize]byte {
 	var out [arch.BlockSize]byte
-	for i, db := range g.DataBlocksOf(cb) {
-		binary.LittleEndian.PutUint64(out[i*8:], g.snapshots[db])
+	base := arch.BlockID(uint64(cb-counterBase()) * ctrsPerBlock)
+	for i := 0; i < ctrsPerBlock; i++ {
+		binary.LittleEndian.PutUint64(out[i*8:], g.snapshots[base+arch.BlockID(i)])
 	}
 	return out
 }

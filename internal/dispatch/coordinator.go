@@ -187,8 +187,25 @@ func (co *Coordinator) Run(ctx context.Context, ln net.Listener) (map[int]Settle
 	for len(st.settled) < len(co.cells) {
 		select {
 		case <-ctx.Done():
+			// A cancelled run may still settle: the all-local-workers-
+			// exited cancellation races the delivery of those workers'
+			// own disconnect events, and handling them is what
+			// quarantines the revoked cells. Drain events for a bounded
+			// grace window before giving up, so a grid whose fate is
+			// already decided reports it instead of "context canceled".
+			grace := time.NewTimer(time.Second) //metalint:allow wallclock grace window for host worker connection teardown
+			for len(st.settled) < len(co.cells) {
+				select {
+				case ev := <-events:
+					st.handle(ev)
+				case <-grace.C:
+					st.shutdown()
+					return settled, ctx.Err()
+				}
+			}
+			grace.Stop()
 			st.shutdown()
-			return settled, ctx.Err()
+			return settled, nil
 		case ev := <-events:
 			st.handle(ev)
 		case <-ticker.C:

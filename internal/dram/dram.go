@@ -87,16 +87,24 @@ type Stats struct {
 
 // DRAM is the main memory model. Not safe for concurrent use.
 type DRAM struct {
-	cfg         Config
-	banks       []bank
-	wq          []writeReq
+	cfg   Config
+	banks []bank
+	wq    []writeReq
+	// wqSet indexes the blocks currently in wq so the merge check in Write
+	// is a map probe instead of an O(depth) scan (merging guarantees at
+	// most one queue entry per block, so set membership is exact).
+	wqSet       map[arch.BlockID]struct{}
 	stats       Stats
 	nextRefresh arch.Cycles
 }
 
 // New builds a DRAM model.
 func New(cfg Config) *DRAM {
-	d := &DRAM{cfg: cfg, banks: make([]bank, cfg.Banks())}
+	d := &DRAM{
+		cfg:   cfg,
+		banks: make([]bank, cfg.Banks()),
+		wqSet: make(map[arch.BlockID]struct{}, cfg.WriteQueueDepth),
+	}
 	for i := range d.banks {
 		d.banks[i].openRow = -1
 	}
@@ -187,16 +195,15 @@ func (d *DRAM) Read(now arch.Cycles, b arch.BlockID) arch.Cycles {
 func (d *DRAM) Write(now arch.Cycles, b arch.BlockID) arch.Cycles {
 	d.stats.Writes++
 	now = d.maybeRefresh(now)
-	for _, w := range d.wq {
-		if w.block == b {
-			d.stats.WriteMerges++
-			return now + 1
-		}
+	if _, pending := d.wqSet[b]; pending {
+		d.stats.WriteMerges++
+		return now + 1
 	}
 	if len(d.wq) >= d.cfg.WriteQueueDepth {
 		now = d.drain(now, d.cfg.DrainBatch)
 	}
 	d.wq = append(d.wq, writeReq{block: b})
+	d.wqSet[b] = struct{}{}
 	return now + 1
 }
 
@@ -212,6 +219,7 @@ func (d *DRAM) drain(now arch.Cycles, n int) arch.Cycles {
 		if done > end {
 			end = done
 		}
+		delete(d.wqSet, d.wq[i].block)
 	}
 	d.wq = d.wq[n:]
 	return now // the issuing side does not stall for the drain itself
@@ -227,6 +235,7 @@ func (d *DRAM) FlushWrites(now arch.Cycles) arch.Cycles {
 		if done > end {
 			end = done
 		}
+		delete(d.wqSet, w.block)
 	}
 	d.wq = d.wq[:0]
 	return end

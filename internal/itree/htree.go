@@ -40,6 +40,11 @@ type HTree struct {
 	// block otherwise). Constant per level because the whole region
 	// zero-initializes.
 	initHash []uint64
+	// hashBuf and cbBuf are scratch buffers for node serialization and
+	// counter-block hashing: a stack buffer passed to the Hasher interface
+	// escapes, costing an allocation per hash. Single-threaded by design.
+	hashBuf []byte
+	cbBuf   [arch.BlockSize]byte
 }
 
 // NewHTree builds a hash tree.
@@ -118,9 +123,26 @@ func (n *hnode) bytes() []byte {
 	return buf
 }
 
-// hashOfNode computes the hash of a node block's contents.
+// hashOfNode computes the hash of a node block's contents, serializing
+// into the tree's scratch buffer.
 func (t *HTree) hashOfNode(ref NodeRef) uint64 {
-	return t.h.HashBytes(t.node(ref).bytes())
+	n := t.node(ref)
+	need := 8 * len(n.hashes)
+	if cap(t.hashBuf) < need {
+		t.hashBuf = make([]byte, need)
+	}
+	buf := t.hashBuf[:need]
+	for i, h := range n.hashes {
+		binary.LittleEndian.PutUint64(buf[8*i:], h)
+	}
+	return t.h.HashBytes(buf)
+}
+
+// hashCounterContents hashes a counter block's raw contents via the
+// scratch buffer (a 64-byte copy instead of a 64-byte heap escape).
+func (t *HTree) hashCounterContents(contents [arch.BlockSize]byte) uint64 {
+	t.cbBuf = contents
+	return t.h.HashBytes(t.cbBuf[:])
 }
 
 // VerifyCounterBlock implements Tree: the leaf hash must match
@@ -128,7 +150,7 @@ func (t *HTree) hashOfNode(ref NodeRef) uint64 {
 func (t *HTree) VerifyCounterBlock(cb arch.BlockID, contents [arch.BlockSize]byte) bool {
 	leaf := t.node(t.LeafRef(cb))
 	slot := t.geo.cbIndex(cb) % t.cfg.Arities[0]
-	return leaf.hashes[slot] == t.h.HashBytes(contents[:])
+	return leaf.hashes[slot] == t.hashCounterContents(contents)
 }
 
 // VerifyNode implements Tree: a node block is checked against the hash its
@@ -152,7 +174,7 @@ func (t *HTree) VerifyNode(ref NodeRef) bool {
 func (t *HTree) WritebackCounterBlock(cb arch.BlockID, contents [arch.BlockSize]byte) *Update {
 	leaf := t.node(t.LeafRef(cb))
 	slot := t.geo.cbIndex(cb) % t.cfg.Arities[0]
-	leaf.hashes[slot] = t.h.HashBytes(contents[:])
+	leaf.hashes[slot] = t.hashCounterContents(contents)
 	return nil
 }
 

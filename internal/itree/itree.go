@@ -67,7 +67,9 @@ type Tree interface {
 	// this tree.
 	RefOfBlock(b arch.BlockID) (NodeRef, bool)
 	// Path returns the node references from the leaf covering cb up to the
-	// top stored level, bottom-up (the Algorithm 2 walk order).
+	// top stored level, bottom-up (the Algorithm 2 walk order). The path of
+	// a counter block is static, so implementations memoize and return a
+	// shared slice: callers must not mutate it.
 	Path(cb arch.BlockID) []NodeRef
 	// CoverageCounterBlocks returns how many counter blocks one node at the
 	// level covers (the spatial coverage of Fig. 12).
@@ -113,13 +115,17 @@ type geometry struct {
 	nCB     int
 	cbOff   int
 	nodeOff int
+	// pathCache memoizes path() per counter block: the walk is pure
+	// address arithmetic, so the controller's per-miss tree walk need not
+	// re-derive (and re-allocate) it. Callers treat paths as read-only.
+	pathCache map[arch.BlockID][]NodeRef
 }
 
 func newGeometry(nCB int, arities []int) geometry {
 	if nCB <= 0 || len(arities) == 0 {
 		panic("itree: empty geometry")
 	}
-	g := geometry{arities: arities, nCB: nCB}
+	g := geometry{arities: arities, nCB: nCB, pathCache: make(map[arch.BlockID][]NodeRef)}
 	g.counts = make([]int, len(arities))
 	g.bases = make([]int, len(arities))
 	prev := nCB
@@ -182,12 +188,16 @@ func (g *geometry) refOfBlock(b arch.BlockID) (NodeRef, bool) {
 }
 
 func (g *geometry) path(cb arch.BlockID) []NodeRef {
+	if p, ok := g.pathCache[cb]; ok {
+		return p
+	}
 	out := make([]NodeRef, 0, len(g.arities))
 	ref := g.leafRef(cb)
 	out = append(out, ref)
 	for {
 		p, ok := g.parent(ref)
 		if !ok {
+			g.pathCache[cb] = out
 			return out
 		}
 		out = append(out, p)

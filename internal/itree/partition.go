@@ -28,6 +28,9 @@ type Partitioned struct {
 	counts  []int
 	sliceCB int
 	nCB     int
+	// pathCache memoizes the globalized Path per counter block (the
+	// per-domain paths are already memoized; this avoids re-globalizing).
+	pathCache map[arch.BlockID][]NodeRef
 }
 
 // NewPartitioned builds a forest of `domains` identical trees, each
@@ -42,7 +45,11 @@ func NewPartitioned(base VTreeConfig, domains int, h Hasher) *Partitioned {
 			base.CounterBlocks, domains))
 	}
 	slice := base.CounterBlocks / domains
-	p := &Partitioned{sliceCB: slice, nCB: base.CounterBlocks}
+	p := &Partitioned{
+		sliceCB:   slice,
+		nCB:       base.CounterBlocks,
+		pathCache: make(map[arch.BlockID][]NodeRef),
+	}
 	// Per-domain node-block footprint, to lay domains out contiguously in
 	// the tree region.
 	geo := newGeometry(slice, base.Arities)
@@ -136,12 +143,16 @@ func (p *Partitioned) RefOfBlock(b arch.BlockID) (NodeRef, bool) {
 
 // Path implements Tree.
 func (p *Partitioned) Path(cb arch.BlockID) []NodeRef {
+	if out, ok := p.pathCache[cb]; ok {
+		return out
+	}
 	d := p.DomainOfCounterBlock(cb)
 	local := p.domains[d].Path(cb)
 	out := make([]NodeRef, len(local))
 	for i, ref := range local {
 		out[i] = p.globalize(d, ref)
 	}
+	p.pathCache[cb] = out
 	return out
 }
 

@@ -44,6 +44,12 @@ type VTree struct {
 	ctrHash map[arch.BlockID]uint64
 	// root holds the on-chip version counters for the top stored level.
 	root map[int]uint64
+	// hashBuf and cbBuf are scratch buffers for hashNode/hashCounterBlock.
+	// Passing a local buffer to the Hasher interface forces it to escape,
+	// so a fresh allocation per hash; the tree is single-threaded like the
+	// rest of the simulator, so one reusable buffer each suffices.
+	hashBuf []byte
+	cbBuf   [8 + arch.BlockSize]byte
 }
 
 // NewVTree builds a version-counter tree.
@@ -140,7 +146,11 @@ func (t *VTree) MinorValue(ref NodeRef, slot int) uint64 {
 // hashNode computes the embedded hash of a node: H(parent minor ‖ major ‖
 // minors), per the SCT construction in §IV-C.
 func (t *VTree) hashNode(ref NodeRef, n *vnode) uint64 {
-	buf := make([]byte, 16+8*len(n.minors))
+	need := 16 + 8*len(n.minors)
+	if cap(t.hashBuf) < need {
+		t.hashBuf = make([]byte, need)
+	}
+	buf := t.hashBuf[:need]
 	binary.LittleEndian.PutUint64(buf[0:8], t.parentMinor(ref))
 	binary.LittleEndian.PutUint64(buf[8:16], n.major)
 	for i, m := range n.minors {
@@ -154,7 +164,7 @@ func (t *VTree) hashNode(ref NodeRef, n *vnode) uint64 {
 func (t *VTree) hashCounterBlock(cb arch.BlockID, contents [arch.BlockSize]byte) uint64 {
 	leaf := t.LeafRef(cb)
 	slot := t.geo.cbIndex(cb) % t.cfg.Arities[0]
-	var buf [8 + arch.BlockSize]byte
+	buf := &t.cbBuf
 	binary.LittleEndian.PutUint64(buf[0:8], t.node(leaf).minors[slot])
 	copy(buf[8:], contents[:])
 	return t.h.HashBytes(buf[:])

@@ -174,7 +174,8 @@ func (c *Controller) AuditIntegrity() int {
 	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
 	bad := 0
 	for _, b := range blocks {
-		if c.eng.MAC(c.store[b], b, c.ctrs.Value(b)) != c.macs[b] {
+		st := c.store[b]
+		if c.eng.MACOf(&st.ct, b, c.ctrs.Value(b)) != st.mac {
 			bad++
 			c.stats.TamperDetections++
 		}

@@ -139,6 +139,19 @@ type Stats struct {
 	FaultsInjected uint64
 }
 
+// stored is one block's off-chip state: its ciphertext (plaintext in the
+// Plain baseline) and its MAC, kept in one heap object so the hot path
+// pays a single map lookup and works on the block in place instead of
+// copying 64 bytes in and out of two maps.
+type stored struct {
+	ct  crypto.Block
+	mac uint64
+}
+
+// zeroBlock is the all-zero plaintext that lazily materialized blocks
+// encrypt. Read-only.
+var zeroBlock crypto.Block
+
 // Controller is the secure memory controller. Not safe for concurrent use.
 type Controller struct {
 	cfg     Config
@@ -148,9 +161,14 @@ type Controller struct {
 	eng     *crypto.Engine
 	ctrs    ctr.Scheme
 	tree    itree.Tree
-	store   map[arch.BlockID]crypto.Block // ciphertext backing store
-	macs    map[arch.BlockID]uint64
+	store   map[arch.BlockID]*stored // off-chip backing store
 	stats   Stats
+
+	// loaded and work are per-access scratch slices (the tree-walk node
+	// list and the dirty-eviction work list); reusing them keeps the
+	// steady-state access path allocation-free.
+	loaded []itree.NodeRef
+	work   []arch.BlockID
 
 	// Fault injection (nil in honest runs): inj is consulted before every
 	// serviced access with the 1-based access ordinal, and the faults it
@@ -175,8 +193,7 @@ func New(cfg Config, scheme ctr.Scheme, tree itree.Tree) *Controller {
 		eng:   crypto.New(cfg.Engine),
 		ctrs:  scheme,
 		tree:  tree,
-		store: make(map[arch.BlockID]crypto.Block),
-		macs:  make(map[arch.BlockID]uint64),
+		store: make(map[arch.BlockID]*stored),
 	}
 	if cfg.RandomizedMeta != nil {
 		c.meta = &mirageMeta{c: mirage.New(*cfg.RandomizedMeta), hit: cfg.Meta.HitLatency}
@@ -216,15 +233,17 @@ func (c *Controller) Engine() *crypto.Engine { return c.eng }
 
 // ensureInit lazily materializes a block's ciphertext (zero plaintext) the
 // first time it is touched, as if the secure region were zero-initialized
-// at enclave build time.
-func (c *Controller) ensureInit(b arch.BlockID) {
-	if _, ok := c.store[b]; ok {
-		return
+// at enclave build time. It returns the block's backing-store entry.
+func (c *Controller) ensureInit(b arch.BlockID) *stored {
+	if st, ok := c.store[b]; ok {
+		return st
 	}
+	st := &stored{}
 	v := c.ctrs.Value(b)
-	ct := c.eng.Encrypt(crypto.Block{}, b, v)
-	c.store[b] = ct
-	c.macs[b] = c.eng.MAC(ct, b, v)
+	c.eng.EncryptTo(&st.ct, &zeroBlock, b, v)
+	st.mac = c.eng.MACOf(&st.ct, b, v)
+	c.store[b] = st
+	return st
 }
 
 // fetchCounter brings b's counter block on-chip, verifying it through the
@@ -245,7 +264,7 @@ func (c *Controller) fetchCounter(now arch.Cycles, b arch.BlockID, rep *Report) 
 	// level's issue lags the previous by TreeStepDelay (dependent lookup
 	// and verification pipelining) — this is what gives the per-level
 	// latency steps of Fig. 6/7.
-	var loaded []itree.NodeRef
+	loaded := c.loaded[:0]
 	issue := now
 	done := now
 	for _, ref := range c.tree.Path(cb) {
@@ -260,6 +279,7 @@ func (c *Controller) fetchCounter(now arch.Cycles, b arch.BlockID, rep *Report) 
 		}
 		loaded = append(loaded, ref)
 	}
+	c.loaded = loaded
 	now = done
 	// Verify bottom-up: counter block against its leaf, then each loaded
 	// node against its parent. One hash each.
@@ -299,9 +319,12 @@ func (c *Controller) Read(now arch.Cycles, b arch.BlockID) (crypto.Block, Report
 		now = c.dram.Read(now, b)
 		rep.Path = PathCounterHit // no metadata paths exist
 		rep.Latency = now - start
-		return c.store[b], rep
+		if st, ok := c.store[b]; ok {
+			return st.ct, rep
+		}
+		return crypto.Block{}, rep
 	}
-	c.ensureInit(b)
+	st := c.ensureInit(b)
 	now += c.cfg.QueueDelay
 	// Data fetch and (fixed-cost) MAC fetch+check proceed first.
 	now = c.dram.Read(now, b)
@@ -314,12 +337,12 @@ func (c *Controller) Read(now arch.Cycles, b arch.BlockID) (crypto.Block, Report
 	}
 	// Decrypt and authenticate (functionally real).
 	v := c.ctrs.Value(b)
-	ct := c.store[b]
-	if c.eng.MAC(ct, b, v) != c.macs[b] {
+	if c.eng.MACOf(&st.ct, b, v) != st.mac {
 		rep.Tampered = true
 		c.stats.TamperDetections++
 	}
-	plain := c.eng.Decrypt(ct, b, v)
+	var plain crypto.Block
+	c.eng.DecryptTo(&plain, &st.ct, b, v)
 	rep.Path = PathCounterHit
 	if !rep.CounterHit {
 		if rep.TreeLevelsLoaded == 0 {
@@ -343,13 +366,18 @@ func (c *Controller) Write(now arch.Cycles, b arch.BlockID, plain crypto.Block) 
 	c.preAccess(b, true)
 	if c.cfg.Plain {
 		now += c.cfg.QueueDelay
-		c.store[b] = plain
+		st, ok := c.store[b]
+		if !ok {
+			st = &stored{}
+			c.store[b] = st
+		}
+		st.ct = plain
 		now = c.dram.Write(now, b)
 		rep.Path = PathCounterHit
 		rep.Latency = now - start
 		return rep
 	}
-	c.ensureInit(b)
+	st := c.ensureInit(b)
 	now += c.cfg.QueueDelay
 	// The counter must be on-chip to encrypt the outgoing data.
 	now = c.fetchCounter(now, b, &rep)
@@ -367,30 +395,30 @@ func (c *Controller) Write(now arch.Cycles, b arch.BlockID, plain crypto.Block) 
 		c.stats.CounterOverflows++
 		c.stats.ReencryptedBlocks += uint64(len(ov.Reencrypt))
 		burst := now
+		var scratch crypto.Block
 		for _, ch := range ov.Reencrypt {
 			// Untouched group members materialize at their OLD seed (they
 			// were conceptually encrypted with it since initialization);
 			// initializing at the new seed and then decrypting with the
 			// old would scramble them.
-			if _, ok := c.store[ch.Block]; !ok {
-				ct := c.eng.Encrypt(crypto.Block{}, ch.Block, ch.Old)
-				c.store[ch.Block] = ct
-				c.macs[ch.Block] = c.eng.MAC(ct, ch.Block, ch.Old)
+			gst, ok := c.store[ch.Block]
+			if !ok {
+				gst = &stored{}
+				c.eng.EncryptTo(&gst.ct, &zeroBlock, ch.Block, ch.Old)
+				gst.mac = c.eng.MACOf(&gst.ct, ch.Block, ch.Old)
+				c.store[ch.Block] = gst
 			}
-			old := c.store[ch.Block]
-			p := c.eng.Decrypt(old, ch.Block, ch.Old)
-			nct := c.eng.Encrypt(p, ch.Block, ch.New)
-			c.store[ch.Block] = nct
-			c.macs[ch.Block] = c.eng.MAC(nct, ch.Block, ch.New)
+			c.eng.DecryptTo(&scratch, &gst.ct, ch.Block, ch.Old)
+			c.eng.EncryptTo(&gst.ct, &scratch, ch.Block, ch.New)
+			gst.mac = c.eng.MACOf(&gst.ct, ch.Block, ch.New)
 			c.dram.Background(burst, ch.Block, c.cfg.DRAM.WriteLat+2*c.eng.AESLatency())
 		}
 		now += overflowStall
 	}
 	// Encrypt and queue the target block.
 	now += c.eng.AESLatency()
-	ct := c.eng.Encrypt(plain, b, newVal)
-	c.store[b] = ct
-	c.macs[b] = c.eng.MAC(ct, b, newVal)
+	c.eng.EncryptTo(&st.ct, &plain, b, newVal)
+	st.mac = c.eng.MACOf(&st.ct, b, newVal)
 	now += c.cfg.MACLatency
 	now = c.dram.Write(now, b)
 	rep.Path = PathCounterHit

@@ -71,7 +71,7 @@ func TestWriteEncryptsAndReadDecrypts(t *testing.T) {
 	copy(plain[:], "metaleak secure memory block")
 	c.Write(0, b, plain)
 	// Off-chip bytes must differ from plaintext.
-	if c.store[b] == plain {
+	if c.store[b].ct == plain {
 		t.Fatal("backing store holds plaintext")
 	}
 	got, rep := c.Read(1000, b)
@@ -357,6 +357,69 @@ func TestStatefulFuzzAllDesigns(t *testing.T) {
 					}
 				}
 				now += 300
+			}
+		})
+	}
+}
+
+// epochBuild constructs a controller over a whole-memory-re-key scheme
+// (MoC or GC) with a tiny counter width so overflow is cheap to force.
+func epochBuild(scheme ctr.Scheme) *Controller {
+	eng := crypto.Config{AESLatency: 20, HashLatency: 12}
+	h := crypto.New(eng)
+	tree := itree.NewVTree(itree.VTreeConfig{
+		Name: "SIT", Arities: []int{8, 8, 8}, MinorBits: 56, CounterBlocks: 512,
+	}, h)
+	cfg := Config{
+		DRAM:   dram.DefaultConfig(),
+		Meta:   cache.Config{Name: "meta", SizeBytes: 256 * 1024, Ways: 8, HitLatency: 2},
+		Engine: eng, QueueDelay: 10, MACLatency: 30,
+	}
+	return New(cfg, scheme, tree)
+}
+
+// TestEpochRekeyCoversReadOnlyBlocks is the regression test for the epoch
+// re-key staleness bug: a block that was only ever READ is materialized at
+// the old epoch's seed, so a whole-memory re-key (MoC/GC counter overflow
+// triggered by a different block) must re-encrypt it too. The buggy
+// schemes enumerated only ever-written blocks, and the next read of the
+// read-only block failed its MAC check — a spurious tamper detection with
+// no attacker present.
+func TestEpochRekeyCoversReadOnlyBlocks(t *testing.T) {
+	cases := []struct {
+		name   string
+		scheme ctr.Scheme
+	}{
+		{"MoC", ctr.NewMoC(ctr.MoCConfig{Bits: 4})},
+		{"GC", ctr.NewGC(ctr.GCConfig{Bits: 4})},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := epochBuild(tc.scheme)
+			ro := arch.PageID(0).Block(0) // read-only from here on
+			w := arch.PageID(0).Block(8)  // lives in a different counter block
+			plain, rep := c.Read(0, ro)
+			if rep.Tampered {
+				t.Fatal("tamper on first read")
+			}
+			var data crypto.Block
+			copy(data[:], "epoch re-key probe")
+			now := arch.Cycles(1000)
+			overflowed := false
+			for i := 0; i < 40 && !overflowed; i++ {
+				wrep := c.Write(now, w, data)
+				now += 100000
+				overflowed = wrep.Overflow
+			}
+			if !overflowed {
+				t.Fatal("counter never overflowed")
+			}
+			got, rep2 := c.Read(now, ro)
+			if got != plain {
+				t.Fatal("re-key scrambled a read-only block's plaintext")
+			}
+			if rep2.Tampered || c.Stats().TamperDetections != 0 {
+				t.Fatalf("spurious tamper detections after epoch re-key: %d", c.Stats().TamperDetections)
 			}
 		})
 	}

@@ -19,17 +19,14 @@ type BlockSnapshot struct {
 // TamperFlipBit flips one bit of a block's ciphertext in memory (data
 // spoofing).
 func (c *Controller) TamperFlipBit(b arch.BlockID, bit int) {
-	c.ensureInit(b)
-	ct := c.store[b]
-	ct[bit/8%arch.BlockSize] ^= 1 << (bit % 8)
-	c.store[b] = ct
+	st := c.ensureInit(b)
+	st.ct[bit/8%arch.BlockSize] ^= 1 << (bit % 8)
 }
 
 // TamperMAC flips one bit of a block's stored MAC in memory (the
 // authentication tag itself is off-chip state an attacker can corrupt).
 func (c *Controller) TamperMAC(b arch.BlockID, bit int) {
-	c.ensureInit(b)
-	c.macs[b] ^= 1 << (bit % 64)
+	c.ensureInit(b).mac ^= 1 << (bit % 64)
 }
 
 // TamperSplice swaps the off-chip contents (ciphertext and MAC) of two
@@ -38,13 +35,12 @@ func (c *Controller) TamperSplice(b1, b2 arch.BlockID) {
 	c.ensureInit(b1)
 	c.ensureInit(b2)
 	c.store[b1], c.store[b2] = c.store[b2], c.store[b1]
-	c.macs[b1], c.macs[b2] = c.macs[b2], c.macs[b1]
 }
 
 // Snapshot captures a block's current off-chip state.
 func (c *Controller) Snapshot(b arch.BlockID) BlockSnapshot {
-	c.ensureInit(b)
-	return BlockSnapshot{Block: b, ct: c.store[b], mac: c.macs[b], ok: true}
+	st := c.ensureInit(b)
+	return BlockSnapshot{Block: b, ct: st.ct, mac: st.mac, ok: true}
 }
 
 // TamperReplay restores an earlier snapshot of a block (data replay: a
@@ -53,6 +49,7 @@ func (c *Controller) TamperReplay(s BlockSnapshot) {
 	if !s.ok {
 		panic("secmem: replaying empty snapshot")
 	}
-	c.store[s.Block] = s.ct
-	c.macs[s.Block] = s.mac
+	st := c.ensureInit(s.Block)
+	st.ct = s.ct
+	st.mac = s.mac
 }

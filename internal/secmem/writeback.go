@@ -18,11 +18,13 @@ func (c *Controller) insertMeta(now arch.Cycles, b arch.BlockID, dirty bool) arc
 	if !evicted || !ev.Dirty {
 		return now
 	}
-	work := []arch.BlockID{ev.Block}
-	for len(work) > 0 {
-		blk := work[0]
-		work = work[1:]
-		now = c.writebackMeta(now, blk, &work)
+	// The controller's reusable work slice serves as the FIFO (indexing
+	// instead of re-slicing, so the backing array survives for the next
+	// eviction chain). Chains never nest: writebackMeta appends to this
+	// same list rather than recursing into insertMeta.
+	c.work = append(c.work[:0], ev.Block)
+	for i := 0; i < len(c.work); i++ {
+		now = c.writebackMeta(now, c.work[i], &c.work)
 	}
 	return now
 }
