@@ -34,11 +34,13 @@ secretflow-test:
 test:
 	$(GO) test -race ./...
 
-# The distributed-dispatch property tests, re-run uncached so the
-# byte-identity and revocation invariants are exercised on every check
-# even when the surrounding packages are unchanged.
+# The distributed-dispatch and sweep-service property tests, re-run
+# uncached so the byte-identity, revocation, supervision, and cache
+# invariants are exercised on every check even when the surrounding
+# packages are unchanged.
 dispatch-race:
-	$(GO) test -race -count=1 -run Dispatch ./internal/dispatch ./internal/experiments ./cmd/metaleak
+	$(GO) test -race -count=1 -run 'Dispatch|Serve|Supervis|DialRetry|ResultCache|CellFingerprint' \
+		./internal/dispatch ./internal/experiments ./internal/serve ./cmd/metaleak
 
 # Ten seconds of coverage-guided fuzzing per parser-shaped surface:
 # cheap enough for CI, long enough to catch a decoder regression.

@@ -13,8 +13,10 @@ import (
 // tamper-detection matrix (every secure config × every metadata class ×
 // both access directions must detect its injected corruption), the
 // harness-level sweep invariants (recovery, quarantine, crash/resume
-// byte-identity), and the distributed-dispatch invariants (worker-count
-// identity, drop/re-lease recovery, drop quarantine), and exits
+// byte-identity), the distributed-dispatch invariants (worker-count
+// identity, drop/re-lease recovery, drop quarantine), and the
+// self-healing service invariants (flap recovery under supervision,
+// cache-served resubmission, overlapping-grid reuse), and exits
 // non-zero on any violation. CI runs it as the chaos smoke gate.
 func chaosCmd(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("chaos", flag.ContinueOnError)
@@ -52,6 +54,11 @@ func chaosCmd(ctx context.Context, args []string) error {
 		return err
 	}
 	fmt.Println("dispatch sweep: identity, drop/re-lease, and drop-quarantine invariants hold")
+
+	if err := experiments.ChaosServe(ctx, dir, *seed); err != nil {
+		return err
+	}
+	fmt.Println("serve sweep: flap-recovery, cache-identity, and overlap-reuse invariants hold")
 
 	if escapes > 0 {
 		return fmt.Errorf("chaos: %d injected corruptions escaped detection", escapes)

@@ -111,8 +111,14 @@ func TestDispatchFlagValidation(t *testing.T) {
 		{[]string{"sweep", "-workers", "2", "-par", "4"}, "drop -par"},
 		{[]string{"sweep", "-lease-timeout", "5s"}, "only applies to distributed"},
 		{[]string{"sweep", "-faults", "harness:disconnect@0x1"}, "distributed run"},
+		{[]string{"sweep", "-token", "t0k"}, "add -workers"},
 		{[]string{"worker"}, "-connect ADDR is required"},
 		{[]string{"worker", "-connect", "127.0.0.1:1"}, "connect"},
+		{[]string{"worker", "-connect", "127.0.0.1:1", "-hb", "0s"}, "must be positive"},
+		{[]string{"worker", "-connect", "127.0.0.1:1", "-hb", "-1s"}, "must be positive"},
+		{[]string{"worker", "-connect", "127.0.0.1:1", "-dial-retries", "-1"}, "must be >= 0"},
+		{[]string{"serve", "-workers", "-1"}, "must be >= 0"},
+		{[]string{"serve", "-revive", "-2"}, "must be >= 0"},
 	}
 	for _, tc := range cases {
 		err := run(ctx, tc.args)

@@ -10,8 +10,11 @@
 //	                             [-noise 0,8000] [-seeds N] [-seed N] [-bits N]
 //	                             [-set Field=value]... [-checkpoint FILE]
 //	                             [-json|-long] [-par N]
-//	                             [-workers N] [-listen ADDR] [-lease-timeout D]
-//	metaleak worker -connect ADDR [-id NAME] [-hb D]
+//	                             [-workers N] [-listen ADDR] [-lease-timeout D] [-token T]
+//	metaleak worker -connect ADDR [-id NAME] [-hb D] [-token T] [-dial-retries N]
+//	metaleak serve               [-addr ADDR] [-workers N] [-token T] [-state DIR]
+//	                             [-worker-listen ADDR] [-lease-timeout D] [-retries N]
+//	                             [-revive N] [-trial-timeout D]
 //	metaleak trace jpeg|rsa      [-csv] [-bin FILE]
 //	metaleak trace replay FILE   [-csv] [-bin OUT]
 //	metaleak chaos               [-seed N] [-v]
@@ -35,7 +38,13 @@
 // processes from other machines. Distribution is pure scheduling:
 // output stays byte-identical to -par runs, including when a worker is
 // killed mid-run (its leased cells revoke after -lease-timeout or on
-// disconnect and re-deal against the -retries budget).
+// disconnect and re-deal against the -retries budget). serve is the
+// persistent sweep service: HTTP clients submit sweep specs, stream
+// rows as they settle, and fetch CSV/JSON byte-identical to the CLI's;
+// a supervised local worker fleet respawns dead workers with backoff,
+// revoked leases are absorbed by a -revive budget, and a
+// content-addressed cell cache plus per-sweep checkpoints make
+// resubmitted or overlapping grids reuse every cell already computed.
 // Experiment IDs follow the paper: table1, fig6, fig7, fig8,
 // fig11, fig12, fig14, fig15, fig15c, fig16, fig17, fig18; the
 // design-space ablations ablctr, abltree, ablmeta, ablminor, ablnoise,
@@ -44,7 +53,6 @@ package main
 
 import (
 	"context"
-	"encoding/csv"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -114,6 +122,8 @@ func run(ctx context.Context, args []string) error {
 		return sweepCmd(ctx, args[1:])
 	case "worker":
 		return workerCmd(ctx, args[1:])
+	case "serve":
+		return serveCmd(ctx, args[1:])
 	case "trace":
 		return traceCmd(args[1:])
 	case "chaos":
@@ -263,6 +273,7 @@ func sweepCmd(ctx context.Context, args []string) error {
 	workers := fs.Int("workers", 0, "distributed: spawn N local `metaleak worker` processes and deal cells to them over a private socket")
 	listen := fs.String("listen", "", "distributed: accept remote `metaleak worker -connect` processes on ADDR (host:port, unix:PATH, or /path)")
 	leaseTimeout := fs.Duration("lease-timeout", 10*time.Second, "distributed: silence window after which a worker's leased cells revoke and re-deal")
+	token := fs.String("token", os.Getenv("METALEAK_TOKEN"), "distributed: shared auth token workers must present (default $METALEAK_TOKEN; empty = no auth)")
 	faultSpec := fs.String("faults", "", "fault plan (DESIGN.md §8): machine: entries corrupt metadata in every cell's machine, harness: entries fail trials and tear checkpoints")
 	retries := fs.Int("retries", 0, "extra attempts for a failed cell before quarantine")
 	trialTimeout := fs.Duration("trial-timeout", 0, "per-attempt cell deadline (0 = none)")
@@ -312,8 +323,11 @@ func sweepCmd(ctx context.Context, args []string) error {
 	if distributed && explicit["par"] {
 		return fmt.Errorf("sweep: -par is the single-process pool width; with -workers/-listen concurrency is the attached worker count, drop -par")
 	}
-	if !distributed && (explicit["lease-timeout"]) {
+	if !distributed && explicit["lease-timeout"] {
 		return fmt.Errorf("sweep: -lease-timeout only applies to distributed runs; add -workers N or -listen ADDR")
+	}
+	if !distributed && explicit["token"] {
+		return fmt.Errorf("sweep: -token authenticates dispatch workers; add -workers N or -listen ADDR")
 	}
 	var harness *faults.Harness
 	var harnessSpec string
@@ -355,7 +369,7 @@ func sweepCmd(ctx context.Context, args []string) error {
 
 	var rows []experiments.SweepRow
 	if distributed {
-		dopts := experiments.DispatchOptions{LeaseTimeout: *leaseTimeout, HarnessSpec: harnessSpec}
+		dopts := experiments.DispatchOptions{LeaseTimeout: *leaseTimeout, HarnessSpec: harnessSpec, Token: *token}
 		rows, err = sweepDistributed(ctx, axes, sweepOpts, dopts, *workers, *listen)
 	} else {
 		rows, err = experiments.SweepOpts(ctx, axes, sweepOpts)
@@ -441,41 +455,13 @@ func applySetFlags(axes *experiments.SweepAxes, sets []string, explicit map[stri
 // emitSweep renders rows (wide CSV, long CSV, or JSON) on stdout and
 // the per-point aggregates on stderr.
 func emitSweep(axes experiments.SweepAxes, rows []experiments.SweepRow, asJSON, long bool) error {
-	points := axes.Aggregate(rows)
 	if asJSON {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		return enc.Encode(struct {
-			Rows   []experiments.SweepRow
-			Points []experiments.SweepPoint
-		}{rows, points})
+		return experiments.WriteSweepJSON(os.Stdout, axes, rows)
 	}
-	w := csv.NewWriter(os.Stdout)
-	header := experiments.CSVHeader()
-	if long {
-		header = experiments.LongHeader()
-	}
-	if err := w.Write(header); err != nil {
+	if err := experiments.WriteRowsCSV(os.Stdout, rows, long); err != nil {
 		return err
 	}
-	for _, r := range rows {
-		if long {
-			for _, rec := range r.LongRecords() {
-				if err := w.Write(rec); err != nil {
-					return err
-				}
-			}
-			continue
-		}
-		if err := w.Write(r.CSVRecord()); err != nil {
-			return err
-		}
-	}
-	w.Flush()
-	if err := w.Error(); err != nil {
-		return err
-	}
-	for _, p := range points {
+	for _, p := range axes.Aggregate(rows) {
 		fmt.Fprintf(os.Stderr, "# %s minor=%s meta=%dKiB noise=%d: covert %.3f±%.3f monitor %.3f±%.3f (n=%d, %d failed)\n",
 			p.Config, p.MinorLabel(), p.MetaKB, p.Noise,
 			p.Covert.Mean, p.Covert.Std(), p.Monitor.Mean, p.Monitor.Std(), p.Covert.N, p.Errs)
@@ -589,8 +575,10 @@ func usage() {
        metaleak sweep [-configs sct,ht,sgx] [-minor 6,7] [-meta 64,256] [-noise 0,8000]
                       [-seeds N] [-seed N] [-bits N] [-set Field=value]...
                       [-checkpoint FILE] [-json|-long] [-par N]
-                      [-workers N] [-listen ADDR] [-lease-timeout D]
-       metaleak worker -connect ADDR [-id NAME] [-hb D]
+                      [-workers N] [-listen ADDR] [-lease-timeout D] [-token T]
+       metaleak worker -connect ADDR [-id NAME] [-hb D] [-token T] [-dial-retries N]
+       metaleak serve [-addr ADDR] [-workers N] [-token T] [-state DIR]
+                      [-worker-listen ADDR] [-lease-timeout D] [-retries N] [-revive N]
        metaleak trace jpeg|rsa [-csv] [-bin FILE]
        metaleak trace replay FILE [-csv] [-bin OUT]
        metaleak chaos [-seed N] [-v]
@@ -600,5 +588,8 @@ run and sweep accept -faults SPEC (fault plan, DESIGN.md §8),
 -retries N, and -trial-timeout D; chaos self-tests the fault engine.
 sweep -workers/-listen distributes cells across worker processes with
 byte-identical output (DESIGN.md §9); worker attaches this machine to
-a remote sweep coordinator.`)
+a remote sweep coordinator. serve is the persistent sweep service
+(DESIGN.md §12): submit specs over HTTP, stream rows as they settle,
+share a content-addressed result cache across sweeps, and let a
+supervised worker fleet self-heal through crashes.`)
 }

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"time"
+
+	"metaleak/internal/serve"
+)
+
+// serveCmd runs the sweep service (DESIGN.md §12): an HTTP/JSON
+// front-end over the dispatch coordinator with a supervised local
+// worker fleet, per-sweep checkpoints, and a content-addressed result
+// cache shared across submissions. SIGTERM/SIGINT drains gracefully:
+// HTTP stops accepting, the in-flight sweep's settled rows are already
+// checkpointed, and resubmitting the same spec after a restart resumes
+// from them.
+func serveCmd(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8990", "HTTP listen address")
+	workerListen := fs.String("worker-listen", "127.0.0.1:0", "worker listener bind address, rebound per sweep (resolved address published in /v1/status for external `metaleak worker -connect`)")
+	workers := fs.Int("workers", 2, "supervised local worker processes (0 = external workers only)")
+	token := fs.String("token", os.Getenv("METALEAK_TOKEN"), "shared auth token: HTTP bearer + worker handshake (default $METALEAK_TOKEN; empty = no auth)")
+	state := fs.String("state", "", "state directory for the cell cache and sweep checkpoints (default: a fresh temp dir, printed at startup)")
+	leaseTimeout := fs.Duration("lease-timeout", 10*time.Second, "silence window after which a worker's leased cells revoke and re-deal")
+	retries := fs.Int("retries", 1, "extra attempts for a failed cell before quarantine")
+	revive := fs.Int("revive", 16, "per-cell budget of worker-death revocations absorbed without consuming attempts (supervised fleets flap; deaths are not measurements)")
+	trialTimeout := fs.Duration("trial-timeout", 0, "per-attempt cell deadline (0 = none)")
+	if _, err := parseInterleaved(fs, args); err != nil {
+		return err
+	}
+	if *workers < 0 {
+		return fmt.Errorf("serve: -workers %d: must be >= 0", *workers)
+	}
+	if *revive < 0 {
+		return fmt.Errorf("serve: -revive %d: must be >= 0", *revive)
+	}
+
+	stateDir := *state
+	if stateDir == "" {
+		dir, err := os.MkdirTemp("", "metaleak-serve-*")
+		if err != nil {
+			return err
+		}
+		stateDir = dir
+	}
+	self, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	logf := func(format string, logArgs ...any) {
+		fmt.Fprintf(os.Stderr, "# "+format+"\n", logArgs...)
+	}
+	s, err := serve.New(serve.Config{
+		Token:        *token,
+		StateDir:     stateDir,
+		WorkerAddr:   *workerListen,
+		Workers:      *workers,
+		LeaseTimeout: *leaseTimeout,
+		Retries:      *retries,
+		Revive:       *revive,
+		TrialTimeout: *trialTimeout,
+		Log:          logf,
+		SpawnWorker: func(ctx context.Context, slot, attempt int, waddr string) error {
+			// This binary re-invoked as a worker. METALEAK_WORKER lets a
+			// test binary recognize the re-invocation; the token travels by
+			// env, not argv — argv is visible in ps.
+			cmd := exec.CommandContext(ctx, self, "worker",
+				"-connect", waddr,
+				"-id", fmt.Sprintf("serve-w%d.%d", slot, attempt),
+				"-dial-retries", "8")
+			env := append(os.Environ(), "METALEAK_WORKER=1")
+			if *token != "" {
+				env = append(env, "METALEAK_TOKEN="+*token)
+			}
+			cmd.Env = env
+			cmd.Stderr = os.Stderr
+			return cmd.Run()
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	logf("serve: listening on http://%s (state %s, %d local workers)", ln.Addr(), stateDir, *workers)
+	httpSrv := &http.Server{Handler: s.Handler()}
+	runDone := make(chan error, 1)
+	go func() { runDone <- s.Run(ctx) }()
+	httpDone := make(chan error, 1)
+	go func() { httpDone <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-httpDone:
+		return fmt.Errorf("serve: http: %w", err)
+	case <-ctx.Done():
+	}
+	// Graceful drain: stop accepting requests (bounded — streaming
+	// clients are cut off, their sweeps' rows are checkpointed), then
+	// wait for the run loop to settle and close the cache.
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	if err := httpSrv.Shutdown(sctx); err != nil {
+		httpSrv.Close()
+	}
+	err = <-runDone
+	logf("serve: drained (state kept in %s)", stateDir)
+	return err
+}

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServeCommandEndToEnd drives the full production stack of the
+// sweep service: `metaleak serve` with real subprocess workers (the
+// TestMain intercept re-executes this binary as `metaleak worker`),
+// token auth on both the HTTP and dispatch surfaces, a submitted sweep
+// whose CSV is byte-identical to `metaleak sweep -par 2`, a
+// resubmission served entirely from cache, and a graceful drain.
+func TestServeCommandEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a serve process tree")
+	}
+	// Reserve a port for the HTTP listener (close-then-reuse; the tiny
+	// race is acceptable in tests).
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	const token = "cli-test-token"
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"serve", "-addr", addr, "-workers", "2",
+			"-state", t.TempDir(), "-token", token})
+	}()
+
+	base := "http://" + addr
+	client := &http.Client{}
+	call := func(method, path, body string) (int, []byte) {
+		t.Helper()
+		var rd io.Reader
+		if body != "" {
+			rd = strings.NewReader(body)
+		}
+		req, err := http.NewRequest(method, base+path, rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Authorization", "Bearer "+token)
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, data
+	}
+
+	// Wait for the service to come up.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("serve never became healthy: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Wrong token → 401.
+	if resp, err := client.Get(base + "/v1/status"); err != nil || resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated status: %v %v", resp, err)
+	} else {
+		resp.Body.Close()
+	}
+
+	spec := `{"Configs":["sct"],"MinorBits":[7],"MetaKB":[64],"Noise":[0],` +
+		`"Seeds":2,"Seed":31,"Bits":8,"Set":["SecurePages=16384","FastCrypto=true"]}`
+	code, body := call("POST", "/v1/sweeps", spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d: %s", code, body)
+	}
+	var sub struct{ ID string }
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatal(err)
+	}
+
+	code, served := call("GET", "/v1/sweeps/"+sub.ID+"/csv?wait=1", "")
+	if code != http.StatusOK {
+		t.Fatalf("csv: %d: %s", code, served)
+	}
+	want, err := capture(t, func() error {
+		return run(context.Background(), []string{"sweep", "-configs", "sct", "-minor", "7",
+			"-meta", "64", "-noise", "0", "-seeds", "2", "-seed", "31", "-bits", "8",
+			"-set", "SecurePages=16384", "-set", "FastCrypto=true", "-par", "2"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(served, []byte(want)) {
+		t.Fatalf("served CSV differs from `sweep -par 2`:\n--- serve ---\n%s--- cli ---\n%s", served, want)
+	}
+
+	// Identical spec again: a fresh run, fully cache-served.
+	code, body = call("POST", "/v1/sweeps", spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("resubmit: %d: %s", code, body)
+	}
+	var again struct{ ID string }
+	json.Unmarshal(body, &again)
+	if again.ID == sub.ID {
+		t.Fatalf("finished run reused; want a fresh cache-served run")
+	}
+	if code, rerun := call("GET", "/v1/sweeps/"+again.ID+"/csv?wait=1", ""); code != http.StatusOK || !bytes.Equal(rerun, served) {
+		t.Fatalf("cache-served rerun: %d:\n%s", code, rerun)
+	}
+	code, body = call("GET", "/v1/sweeps/"+again.ID, "")
+	var st struct{ Cached, Computed int }
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if code != http.StatusOK || st.Computed != 0 || st.Cached != 2 {
+		t.Fatalf("resubmission status: %d %s", code, body)
+	}
+
+	// Graceful drain: cancel the command's context (the CLI's SIGTERM
+	// path) and expect a clean exit.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve exit: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("serve did not drain after cancel")
+	}
+}

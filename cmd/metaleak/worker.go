@@ -12,6 +12,7 @@ import (
 
 	"metaleak/internal/dispatch"
 	"metaleak/internal/experiments"
+	"metaleak/internal/runner"
 )
 
 // This file is the CLI face of distributed sweeps: the `worker`
@@ -28,20 +29,28 @@ func workerCmd(ctx context.Context, args []string) error {
 	connect := fs.String("connect", "", "coordinator address (host:port for TCP, unix:PATH or /path for a unix socket)")
 	id := fs.String("id", "", "worker name in coordinator logs (default w<pid>)")
 	hb := fs.Duration("hb", time.Second, "heartbeat interval (keep well under the coordinator's -lease-timeout)")
+	token := fs.String("token", os.Getenv("METALEAK_TOKEN"), "shared auth token the coordinator requires (default $METALEAK_TOKEN; prefer the env var — argv is visible in ps)")
+	dialRetries := fs.Int("dial-retries", 0, "extra dial attempts with exponential backoff before giving up (0 = single attempt)")
 	if _, err := parseInterleaved(fs, args); err != nil {
 		return err
 	}
 	if *connect == "" {
 		return fmt.Errorf("worker: -connect ADDR is required")
 	}
+	if *hb <= 0 {
+		return fmt.Errorf("worker: -hb %v: the heartbeat interval must be positive (it is the coordinator's only liveness signal)", *hb)
+	}
+	if *dialRetries < 0 {
+		return fmt.Errorf("worker: -dial-retries %d: must be >= 0", *dialRetries)
+	}
 	if *id == "" {
 		*id = fmt.Sprintf("w%d", os.Getpid())
 	}
-	conn, err := dispatch.Dial(*connect)
+	conn, err := dispatch.DialRetry(ctx, *connect, *dialRetries, runner.ExpBackoff(100*time.Millisecond))
 	if err != nil {
 		return err
 	}
-	w := &dispatch.Worker{ID: *id, Heartbeat: *hb, Init: experiments.NewSweepSession}
+	w := &dispatch.Worker{ID: *id, Heartbeat: *hb, Token: *token, Init: experiments.NewSweepSession}
 	return w.Run(ctx, conn)
 }
 
@@ -83,10 +92,14 @@ func sweepDistributed(ctx context.Context, axes experiments.SweepAxes, opts expe
 			return nil, err
 		}
 		// METALEAK_WORKER lets a test binary recognize the re-invocation
-		// (TestMain intercepts it); the production binary ignores it.
+		// (TestMain intercepts it); the production binary ignores it. The
+		// auth token travels by env, not argv — argv is visible in ps.
+		env := []string{"METALEAK_WORKER=1"}
+		if dopts.Token != "" {
+			env = append(env, "METALEAK_TOKEN="+dopts.Token)
+		}
 		cmds, err = dispatch.SpawnLocal(ctx, workers, self,
-			[]string{"worker", "-connect", addr},
-			[]string{"METALEAK_WORKER=1"}, os.Stderr)
+			[]string{"worker", "-connect", addr}, env, os.Stderr)
 		if err != nil {
 			ln.Close()
 			return nil, err

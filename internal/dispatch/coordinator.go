@@ -3,6 +3,7 @@ package dispatch
 import (
 	"bufio"
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -43,6 +44,24 @@ type Options struct {
 	// each cell settles — in completion order, like the runner's onDone —
 	// so a caller can checkpoint incrementally.
 	OnSettled func(cell int, s Settled)
+	// Token, when non-empty, is the shared secret every worker must
+	// present in its hello frame; a missing or wrong token is refused
+	// (constant-time compare) before any job details are revealed. Use
+	// it whenever the listener faces an untrusted network.
+	Token string
+	// Revive is the per-cell budget of lease revocations (worker death,
+	// heartbeat silence) absorbed *without* consuming the cell's attempt
+	// budget or recording an error. It is the supervised-fleet mode: a
+	// dead worker respawns, so its cells should re-deal, not march
+	// toward quarantine. <= 0 keeps the historic accounting — every
+	// revocation consumes one attempt as DisconnectErr.
+	Revive int
+	// RetryBackoff, when non-nil, paces re-leases: a cell requeued after
+	// a failed attempt or a revoked lease only becomes leasable again
+	// after RetryBackoff(n), where n counts the cell's requeues starting
+	// at 2 for the first (mirroring runner.Policy.Backoff). Nil requeues
+	// immediately. Pure scheduling: pacing never appears in results.
+	RetryBackoff func(attempt int) time.Duration
 	// Log, when non-nil, receives human-readable scheduling events
 	// (worker joins, deaths, steals). Results never depend on it.
 	Log func(format string, args ...any)
@@ -104,6 +123,16 @@ type workerConn struct {
 type cellState struct {
 	errs     []string
 	attempts int
+	revives  int // revocations absorbed under the Revive budget
+	requeues int // total requeues, for the backoff schedule
+}
+
+// cooled is one requeued cell waiting out its retry backoff before it
+// becomes leasable again.
+type cooled struct {
+	cell  int
+	home  *shard
+	ready time.Time
 }
 
 // connEvent is what reader goroutines ferry to the Run loop.
@@ -185,8 +214,24 @@ func (co *Coordinator) Run(ctx context.Context, ln net.Listener) (map[int]Settle
 	defer ticker.Stop()
 
 	for len(st.settled) < len(co.cells) {
+		// Arm a timer for the next cooling cell, if any, so ms-scale
+		// retry backoffs release promptly instead of waiting for the
+		// (lease-timeout-scale) reaper tick.
+		var coolCh <-chan time.Time
+		var coolTimer *time.Timer
+		if d, ok := st.nextCool(); ok {
+			if d <= 0 {
+				st.releaseCooled()
+				continue
+			}
+			coolTimer = time.NewTimer(d) //metalint:allow wallclock retry-backoff pacing of host re-leases, not simulated time
+			coolCh = coolTimer.C
+		}
 		select {
 		case <-ctx.Done():
+			if coolTimer != nil {
+				coolTimer.Stop()
+			}
 			// A cancelled run may still settle: the all-local-workers-
 			// exited cancellation races the delivery of those workers'
 			// own disconnect events, and handling them is what
@@ -210,6 +255,12 @@ func (co *Coordinator) Run(ctx context.Context, ln net.Listener) (map[int]Settle
 			st.handle(ev)
 		case <-ticker.C:
 			st.reapSilent()
+			st.releaseCooled()
+		case <-coolCh:
+			st.releaseCooled()
+		}
+		if coolTimer != nil {
+			coolTimer.Stop()
 		}
 	}
 	st.shutdown()
@@ -224,6 +275,7 @@ type coordState struct {
 	states  map[int]*cellState
 	workers map[*workerConn]bool
 	parked  []*workerConn
+	cooling []cooled
 }
 
 func (st *coordState) logf(format string, args ...any) {
@@ -248,9 +300,18 @@ func (st *coordState) handle(ev connEvent) {
 			ev.c.conn.Close()
 			return
 		}
+		if tok := st.co.opts.Token; tok != "" &&
+			subtle.ConstantTimeCompare([]byte(ev.f.Hello.Token), []byte(tok)) != 1 {
+			st.logf("dispatch: refusing worker %s: bad or missing auth token", ev.f.Hello.Worker)
+			st.send(ev.c, Frame{Type: FrameFail, Fail: &Fail{
+				Reason: "authentication failed: bad or missing token"}})
+			ev.c.conn.Close()
+			return
+		}
 		ev.c.id = ev.f.Hello.Worker
 		st.workers[ev.c] = true
-		st.send(ev.c, Frame{Type: FrameJob, Job: &Job{Spec: st.co.job, Cells: len(st.co.cells)}})
+		st.send(ev.c, Frame{Type: FrameJob, Job: &Job{
+			Spec: st.co.job, Cells: len(st.co.cells), LeaseTimeout: st.co.opts.LeaseTimeout}})
 	case FrameWant:
 		if !st.known(ev.c) {
 			return
@@ -366,19 +427,78 @@ func (st *coordState) result(wc *workerConn, r Result) {
 	st.retryOrFail(wc.shard, r.Cell, cs)
 }
 
-// retryOrFail requeues a failed cell at the head of the shard it came
-// from (still stealable) while budget remains, else settles it as a
+// retryOrFail requeues a failed cell (paced by the retry backoff, still
+// stealable once released) while budget remains, else settles it as a
 // failure joining every attempt's error.
 func (st *coordState) retryOrFail(home *shard, cell int, cs *cellState) {
 	if cs.attempts < st.co.opts.MaxLeases {
-		if home == nil {
-			home = st.anyShard()
-		}
-		home.cells = append([]int{cell}, home.cells...)
-		st.serveParked()
+		st.requeue(home, cell, cs)
 		return
 	}
 	st.settle(cell, Settled{Err: strings.Join(cs.errs, "\n"), Errs: cs.errs, Attempts: cs.attempts})
+}
+
+// requeue makes a cell leasable again — immediately at the head of its
+// home shard, or via the cooling queue when a retry backoff is
+// configured.
+func (st *coordState) requeue(home *shard, cell int, cs *cellState) {
+	cs.requeues++
+	if home == nil {
+		home = st.anyShard()
+	}
+	if bo := st.co.opts.RetryBackoff; bo != nil {
+		// First requeue is attempt 2 of the cell, matching the runner's
+		// Policy.Backoff numbering.
+		if d := bo(cs.requeues + 1); d > 0 {
+			st.cooling = append(st.cooling, cooled{
+				cell: cell, home: home,
+				ready: time.Now().Add(d), //metalint:allow wallclock retry-backoff pacing of host re-leases, not simulated time
+			})
+			return
+		}
+	}
+	home.cells = append([]int{cell}, home.cells...)
+	st.serveParked()
+}
+
+// nextCool reports how long until the earliest cooling cell is ready.
+func (st *coordState) nextCool() (time.Duration, bool) {
+	if len(st.cooling) == 0 {
+		return 0, false
+	}
+	min := st.cooling[0].ready
+	for _, c := range st.cooling[1:] {
+		if c.ready.Before(min) {
+			min = c.ready
+		}
+	}
+	return time.Until(min), true //metalint:allow wallclock retry-backoff pacing of host re-leases, not simulated time
+}
+
+// releaseCooled moves every cooled cell whose backoff elapsed back to
+// the head of its home shard and serves parked wants.
+func (st *coordState) releaseCooled() {
+	if len(st.cooling) == 0 {
+		return
+	}
+	now := time.Now() //metalint:allow wallclock retry-backoff pacing of host re-leases, not simulated time
+	kept := st.cooling[:0]
+	released := false
+	for _, c := range st.cooling {
+		if now.Before(c.ready) {
+			kept = append(kept, c)
+			continue
+		}
+		if _, ok := st.settled[c.cell]; ok {
+			continue // a late duplicate result settled it while cooling
+		}
+		c.home.cells = append([]int{c.cell}, c.home.cells...)
+		released = true
+	}
+	st.cooling = kept
+	if released {
+		st.serveParked()
+	}
 }
 
 // anyShard returns a shard to requeue into when the natural home is
@@ -432,6 +552,14 @@ func (st *coordState) dropWorker(wc *workerConn, why string) {
 			continue
 		}
 		cs := st.state(cell)
+		if cs.revives < st.co.opts.Revive {
+			// Supervised mode: the host died, not the cell. Re-deal
+			// without touching the attempt budget — the supervisor will
+			// have a replacement worker up shortly.
+			cs.revives++
+			st.requeue(wc.shard, cell, cs)
+			continue
+		}
 		cs.attempts++
 		cs.errs = append(cs.errs, DisconnectErr)
 		st.retryOrFail(wc.shard, cell, cs)

@@ -8,6 +8,7 @@ import (
 	"os"
 	"os/exec"
 	"strings"
+	"time"
 )
 
 // Network address convention: "unix:PATH" or any address starting with
@@ -45,6 +46,41 @@ func Dial(addr string) (net.Conn, error) {
 		return nil, fmt.Errorf("dispatch: dial %s: %w", addr, err)
 	}
 	return conn, nil
+}
+
+// DialRetry is Dial with a bounded, deterministic retry schedule: up to
+// 1+retries attempts, pausing backoff(n) before attempt n (n starts at
+// 2 for the first retry, mirroring runner.Policy.Backoff). It lets a
+// worker start before its coordinator is listening — or redial across
+// the gap between a service's back-to-back sweeps — and still attach.
+// Pure scheduling: when and how often we dial never reaches a result.
+func DialRetry(ctx context.Context, addr string, retries int, backoff func(attempt int) time.Duration) (net.Conn, error) {
+	var last error
+	for attempt := 1; attempt <= 1+retries; attempt++ {
+		if attempt > 1 && backoff != nil {
+			if d := backoff(attempt); d > 0 {
+				t := time.NewTimer(d) //metalint:allow wallclock dial-retry pacing against a host coordinator, not simulated time
+				select {
+				case <-ctx.Done():
+					t.Stop()
+					return nil, ctx.Err()
+				case <-t.C:
+				}
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		conn, err := Dial(addr)
+		if err == nil {
+			return conn, nil
+		}
+		last = err
+	}
+	if retries > 0 {
+		return nil, fmt.Errorf("dispatch: dial %s: gave up after %d attempts: %w", addr, 1+retries, last)
+	}
+	return nil, last
 }
 
 // SpawnLocal starts n copies of binary with args (the coordinator's

@@ -24,11 +24,15 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"time"
 )
 
 // ProtoVersion is the wire-protocol version carried in every hello
 // frame; a coordinator refuses workers speaking any other version.
-const ProtoVersion = 1
+// Version 2 added Hello.Token (shared-secret auth) and Job.LeaseTimeout
+// (so a worker can reject a heartbeat interval the coordinator would
+// reap).
+const ProtoVersion = 2
 
 // MaxFrame bounds one frame's body (length prefix excluded). A frame
 // carries at most one job spec or one row, so anything near this size
@@ -69,6 +73,9 @@ type Hello struct {
 	Worker string
 	// Proto is the sender's ProtoVersion.
 	Proto int
+	// Token is the shared-secret credential for coordinators that
+	// require one (Options.Token); empty when the network is trusted.
+	Token string `json:",omitempty"`
 }
 
 // Job is the coordinator's handshake reply.
@@ -78,6 +85,11 @@ type Job struct {
 	Spec json.RawMessage
 	// Cells is the grid size; leases stay in [0, Cells).
 	Cells int
+	// LeaseTimeout is the coordinator's silence budget: a worker whose
+	// heartbeat interval is not comfortably under it would be reaped
+	// mid-cell, so it must fail fast at handshake instead of attaching.
+	// Zero when the coordinator predates version 2.
+	LeaseTimeout time.Duration `json:",omitempty"`
 }
 
 // Lease grants cells to a worker.
@@ -163,6 +175,9 @@ func (f Frame) Validate() error {
 		}
 		if f.Job.Cells < 0 {
 			return fmt.Errorf("job frame with negative cell count %d", f.Job.Cells)
+		}
+		if f.Job.LeaseTimeout < 0 {
+			return fmt.Errorf("job frame with negative lease timeout %v", f.Job.LeaseTimeout)
 		}
 		if len(f.Job.Spec) > 0 && !json.Valid(f.Job.Spec) {
 			return fmt.Errorf("job frame spec is not valid JSON")

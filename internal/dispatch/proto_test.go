@@ -9,13 +9,16 @@ import (
 	"io"
 	"strings"
 	"testing"
+	"time"
 )
 
 // sampleFrames covers every frame type with representative payloads.
 func sampleFrames() []Frame {
 	return []Frame{
 		{Type: FrameHello, Hello: &Hello{Worker: "w1", Proto: ProtoVersion}},
+		{Type: FrameHello, Hello: &Hello{Worker: "w2", Proto: ProtoVersion, Token: "s3cret"}},
 		{Type: FrameJob, Job: &Job{Spec: json.RawMessage(`{"Axes":{"Seeds":3},"Fingerprint":"abc"}`), Cells: 12}},
+		{Type: FrameJob, Job: &Job{Spec: json.RawMessage(`{}`), Cells: 4, LeaseTimeout: 10 * time.Second}},
 		{Type: FrameWant},
 		{Type: FrameLease, Lease: &Lease{Cells: []int{7}}},
 		{Type: FrameLease, Lease: &Lease{Cells: []int{0, 3, 11}}},
@@ -90,6 +93,7 @@ func TestFrameValidate(t *testing.T) {
 		{Type: FrameResult, Result: &Result{Cell: 1, Payload: json.RawMessage(`{}`), Err: "x"}}, // both
 		{Type: FrameResult, Result: &Result{Cell: 1, Payload: json.RawMessage(`{`)}},            // invalid payload JSON
 		{Type: FrameJob, Job: &Job{Cells: -1}},                 // negative grid
+		{Type: FrameJob, Job: &Job{Cells: 1, LeaseTimeout: -time.Second}}, // negative lease timeout
 		{Type: FrameFail, Fail: &Fail{}},                       // reasonless fail
 		{Type: FrameHello, Hello: &Hello{Worker: "w"}, Fail: &Fail{Reason: "x"}}, // two payloads
 	}

@@ -1,0 +1,105 @@
+package dispatch
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// Supervisor keeps a fleet of workers alive for the duration of a run.
+// Each of Workers slots loops: run Start to completion; a slot whose
+// Start returns an error (the worker crashed, was SIGKILLed, or its
+// connection flapped) respawns after a deterministic backoff, while a
+// slot that returns nil was drained by the coordinator and is done.
+// Supervision is pure scheduling — which attempt of which slot computed
+// a cell never reaches a result — so a supervised fleet's output is
+// byte-identical to any other execution of the same grid.
+//
+// The supervisor pairs with Options.Revive on the coordinator side:
+// Revive absorbs the revocations a dying worker causes, and the
+// supervisor guarantees a replacement arrives to pick the cells back
+// up.
+type Supervisor struct {
+	// Workers is the fleet width (number of slots); <= 0 selects 1.
+	Workers int
+	// Start runs one worker attempt for a slot to completion: typically
+	// dial the coordinator (DialRetry) and drive a Worker, or spawn a
+	// worker process and wait on it. A nil return means the worker was
+	// drained — the slot is done. attempt starts at 1 and counts this
+	// slot's spawns.
+	Start func(ctx context.Context, slot, attempt int) error
+	// Backoff paces respawns: the pause before attempt n of a slot
+	// (n = 2 for the first respawn, mirroring runner.Policy.Backoff).
+	// Nil respawns immediately.
+	Backoff func(attempt int) time.Duration
+	// MaxRespawns bounds each slot's total respawns; a slot that
+	// exhausts it stops, surfacing its last error from Run. <= 0
+	// selects 32.
+	MaxRespawns int
+	// Log, when non-nil, receives supervision events (deaths and
+	// respawns). Results never depend on it.
+	Log func(format string, args ...any)
+}
+
+// Run supervises the fleet until every slot drains, ctx is cancelled
+// (a shutdown, not a failure — returns nil), or a slot exhausts its
+// respawn budget. It returns the first budget-exhaustion error, if any.
+func (s *Supervisor) Run(ctx context.Context) error {
+	n := s.Workers
+	if n <= 0 {
+		n = 1
+	}
+	max := s.MaxRespawns
+	if max <= 0 {
+		max = 32
+	}
+	errs := make(chan error, n)
+	for slot := 0; slot < n; slot++ {
+		go func(slot int) {
+			errs <- s.slot(ctx, slot, max)
+		}(slot)
+	}
+	var first error
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// slot drives one supervised worker slot to drain or budget exhaustion.
+func (s *Supervisor) slot(ctx context.Context, slot, max int) error {
+	var last error
+	for attempt := 1; attempt <= 1+max; attempt++ {
+		if attempt > 1 {
+			s.logf("dispatch: worker slot %d died (%v); respawning (attempt %d)", slot, last, attempt)
+			if s.Backoff != nil {
+				if d := s.Backoff(attempt); d > 0 {
+					t := time.NewTimer(d) //metalint:allow wallclock respawn pacing of host worker processes, not simulated time
+					select {
+					case <-ctx.Done():
+						t.Stop()
+						return nil
+					case <-t.C:
+					}
+				}
+			}
+		}
+		if ctx.Err() != nil {
+			return nil // shutdown, not a slot failure
+		}
+		err := s.Start(ctx, slot, attempt)
+		if err == nil || ctx.Err() != nil {
+			return nil
+		}
+		last = err
+	}
+	return fmt.Errorf("dispatch: worker slot %d exhausted its %d-respawn budget: %w", slot, max, last)
+}
+
+func (s *Supervisor) logf(format string, args ...any) {
+	if s.Log != nil {
+		s.Log(format, args...)
+	}
+}

@@ -34,8 +34,13 @@ type Worker struct {
 	// ID names the worker in the hello handshake and coordinator logs.
 	ID string
 	// Heartbeat is the beacon interval; <= 0 selects one second. It must
-	// stay well under the coordinator's lease timeout.
+	// stay well under the coordinator's lease timeout; a version-2
+	// coordinator advertises that timeout in the job frame and the
+	// worker refuses to attach when the interval is not under it.
 	Heartbeat time.Duration
+	// Token is the shared-secret credential presented in the hello
+	// frame; required when the coordinator was given Options.Token.
+	Token string
 	// Init builds the session from the coordinator's opaque job spec.
 	// An error here is reported to the coordinator as a fail frame.
 	Init func(job json.RawMessage) (Session, error)
@@ -65,7 +70,7 @@ func (w *Worker) Run(ctx context.Context, conn net.Conn) error {
 		return WriteFrame(conn, f)
 	}
 
-	if err := send(Frame{Type: FrameHello, Hello: &Hello{Worker: w.ID, Proto: ProtoVersion}}); err != nil {
+	if err := send(Frame{Type: FrameHello, Hello: &Hello{Worker: w.ID, Proto: ProtoVersion, Token: w.Token}}); err != nil {
 		return fmt.Errorf("dispatch: worker hello: %w", err)
 	}
 	br := bufio.NewReader(conn)
@@ -79,6 +84,13 @@ func (w *Worker) Run(ctx context.Context, conn net.Conn) error {
 		return fmt.Errorf("dispatch: coordinator refused worker: %s", f.Fail.Reason)
 	default:
 		return fmt.Errorf("dispatch: worker handshake: unexpected %q frame", f.Type)
+	}
+	if lt := f.Job.LeaseTimeout; lt > 0 && hb >= lt {
+		// Attaching anyway would mean being silently reaped mid-cell the
+		// first time a computation outlasts one heartbeat gap.
+		reason := fmt.Sprintf("heartbeat interval %v is not under the coordinator's %v lease timeout", hb, lt)
+		send(Frame{Type: FrameFail, Fail: &Fail{Reason: reason}})
+		return fmt.Errorf("dispatch: worker handshake: %s", reason)
 	}
 	sess, err := w.Init(f.Job.Spec)
 	if err != nil {

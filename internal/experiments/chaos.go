@@ -13,6 +13,7 @@ import (
 	"metaleak/internal/dispatch"
 	"metaleak/internal/faults"
 	"metaleak/internal/machine"
+	"metaleak/internal/runner"
 	"metaleak/internal/secmem"
 )
 
@@ -346,6 +347,148 @@ func ChaosDispatch(ctx context.Context, seed uint64) error {
 	if err := rowsIdentical(clean[1:], rows[1:]); err != nil {
 		return fmt.Errorf("chaos dispatch: quarantine perturbed unaffected rows: %w", err)
 	}
+	return nil
+}
+
+// ChaosServe checks the self-healing service invariants end to end
+// inside dir (a scratch directory for the cell-cache file) — the
+// in-process model of `metaleak serve`'s supervised fleet and
+// content-addressed result cache. It returns the first violated
+// invariant, or nil when all hold:
+//
+//  1. Flap recovery: a supervised 2-worker fleet whose workers die on
+//     planned leases (harness:flap) and are respawned with backoff,
+//     against a coordinator revive budget and ZERO retries, completes
+//     with rows byte-identical to the clean sweep — no quarantined
+//     cells, no attempt-count scars, because revived leases never
+//     consume the attempt budget.
+//  2. Cache identity: a sweep run against a persisted result cache
+//     populates it; reopening the cache file and resubmitting the
+//     identical grid completes with zero workers attached, every row
+//     cache-served, byte-identical to the clean sweep.
+//  3. Overlap reuse: a *larger* grid (one more seed rep) against the
+//     same cache computes only the genuinely new cells — the
+//     content address excludes the grid index, so shared design
+//     points are shared cells.
+func ChaosServe(ctx context.Context, dir string, seed uint64) error {
+	axes := SweepAxes{
+		Configs:   []string{"sct"},
+		MinorBits: []uint{7},
+		MetaKB:    []int{64},
+		Noise:     []arch.Cycles{0},
+		Seeds:     6,
+		Seed:      seed,
+		Bits:      8,
+		Set:       []string{"SecurePages=16384", "FastCrypto=true"},
+	}
+	clean, err := SweepOpts(ctx, axes, SweepOptions{Workers: 1})
+	if err != nil {
+		return fmt.Errorf("chaos serve: clean run: %w", err)
+	}
+
+	// 1. Flap recovery: the fleet loses a worker on cell 1's lease twice
+	// and on cell 4's once; the supervisor respawns each death, the
+	// revived worker re-dials, and the revive budget re-deals the revoked
+	// leases without touching the (empty) retry budget.
+	flapPlan := faults.MustParse("harness:flap@1x2;harness:flap@4")
+	rows, err := runSupervisedDispatch(ctx, axes, SweepOptions{}, DispatchOptions{
+		Revive:       8,
+		RetryBackoff: runner.ExpBackoff(time.Millisecond),
+	}, 2, flapPlan.NewHarness())
+	if err != nil {
+		return fmt.Errorf("chaos serve: flapping run: %w", err)
+	}
+	for i, r := range rows {
+		if r.Quarantined || r.Err != "" {
+			return fmt.Errorf("chaos serve: flapping run scarred cell %d: %+v", i, r)
+		}
+	}
+	if err := rowsIdentical(clean, rows); err != nil {
+		return fmt.Errorf("chaos serve: flapping rows differ from clean: %w", err)
+	}
+
+	// 2. Cache identity. First pass populates the persisted cache…
+	cachePath := dir + "/chaos-cellcache.jsonl"
+	os.Remove(cachePath)
+	cache, err := OpenResultCache(cachePath)
+	if err != nil {
+		return fmt.Errorf("chaos serve: open cache: %w", err)
+	}
+	rows, err = runLocalDispatch(ctx, axes, SweepOptions{}, DispatchOptions{Cache: cache}, 2, nil)
+	if err != nil {
+		return fmt.Errorf("chaos serve: cache-populating run: %w", err)
+	}
+	if err := rowsIdentical(clean, rows); err != nil {
+		return fmt.Errorf("chaos serve: cache-populating rows differ from clean: %w", err)
+	}
+	if cache.Len() != len(clean) {
+		return fmt.Errorf("chaos serve: cache holds %d cells after populate, want %d", cache.Len(), len(clean))
+	}
+	if err := cache.Err(); err != nil {
+		return fmt.Errorf("chaos serve: cache persistence: %w", err)
+	}
+	cache.Close()
+
+	// …then the reloaded file serves the identical grid with zero
+	// workers: every pending cell is a cache hit, so the fast path never
+	// even starts the coordinator.
+	cache, err = OpenResultCache(cachePath)
+	if err != nil {
+		return fmt.Errorf("chaos serve: reopen cache: %w", err)
+	}
+	var cached, computed int
+	rows, err = runLocalDispatch(ctx, axes, SweepOptions{}, DispatchOptions{
+		Cache: cache,
+		OnRow: func(_ SweepRow, fromCache bool) {
+			if fromCache {
+				cached++
+			} else {
+				computed++
+			}
+		},
+	}, 0, nil)
+	if err != nil {
+		return fmt.Errorf("chaos serve: cache-served run: %w", err)
+	}
+	if cached != len(clean) || computed != 0 {
+		return fmt.Errorf("chaos serve: resubmission served %d cached + %d computed, want %d + 0",
+			cached, computed, len(clean))
+	}
+	if err := rowsIdentical(clean, rows); err != nil {
+		return fmt.Errorf("chaos serve: cache-served rows differ from clean: %w", err)
+	}
+
+	// 3. Overlap reuse: one more seed rep grows the grid; only the new
+	// cells compute.
+	big := axes
+	big.Seeds = axes.Seeds + 1
+	bigClean, err := SweepOpts(ctx, big, SweepOptions{Workers: 1})
+	if err != nil {
+		return fmt.Errorf("chaos serve: big clean run: %w", err)
+	}
+	cached, computed = 0, 0
+	rows, err = runLocalDispatch(ctx, big, SweepOptions{}, DispatchOptions{
+		Cache: cache,
+		OnRow: func(_ SweepRow, fromCache bool) {
+			if fromCache {
+				cached++
+			} else {
+				computed++
+			}
+		},
+	}, 2, nil)
+	if err != nil {
+		return fmt.Errorf("chaos serve: overlapping run: %w", err)
+	}
+	if want := len(bigClean) - len(clean); cached != len(clean) || computed != want {
+		return fmt.Errorf("chaos serve: overlapping grid served %d cached + %d computed, want %d + %d",
+			cached, computed, len(clean), want)
+	}
+	if err := rowsIdentical(bigClean, rows); err != nil {
+		return fmt.Errorf("chaos serve: overlapping rows differ from clean: %w", err)
+	}
+	cache.Close()
+	os.Remove(cachePath)
 	return nil
 }
 

@@ -139,6 +139,27 @@ type DispatchOptions struct {
 	// HarnessSpec is shipped to workers inside the job (see
 	// SweepJob.HarnessSpec).
 	HarnessSpec string
+	// Token is the shared-secret auth for the worker listener; workers
+	// not presenting it are refused (dispatch.Options.Token).
+	Token string
+	// Revive is the per-cell budget of lease revocations absorbed
+	// without consuming attempts — the supervised-fleet mode
+	// (dispatch.Options.Revive). 0 keeps the historic accounting.
+	Revive int
+	// RetryBackoff paces re-leases of failed or revoked cells
+	// (dispatch.Options.RetryBackoff). Nil re-leases immediately.
+	RetryBackoff func(attempt int) time.Duration
+	// Cache, when non-nil, is the content-addressed result cache:
+	// pending cells already in it are served without computing (logged
+	// per cell through opts.Log), and every freshly settled clean row is
+	// added. The key excludes the grid index, so overlapping grids share
+	// cells.
+	Cache *ResultCache
+	// OnRow, when non-nil, observes every row of the final output as it
+	// becomes known: rows settled before dispatch (checkpoint- or
+	// cache-served, cached=true) in grid order up front, then each
+	// live-computed row (cached=false) in completion order.
+	OnRow func(row SweepRow, cached bool)
 }
 
 // SweepDispatch runs the grid distributed: it accepts workers on ln,
@@ -160,6 +181,55 @@ func SweepDispatch(ctx context.Context, axes SweepAxes, opts SweepOptions, dopts
 	if prep.cp != nil {
 		defer prep.cp.Close()
 	}
+
+	// Content-addressed cache: serve pending cells some earlier sweep
+	// (any grid, any client) already computed. Served rows join the
+	// checkpoint so a later resume of this grid no longer needs the
+	// cache.
+	if dopts.Cache != nil {
+		kept := prep.pending[:0]
+		for _, i := range prep.pending {
+			key := CellFingerprint(prep.cells[i], prep.axes.Bits, prep.axes.Set)
+			row, ok := dopts.Cache.Get(key)
+			if !ok {
+				kept = append(kept, i)
+				continue
+			}
+			row.SweepCell = prep.cells[i] // re-stamp the grid index; the key covers every other field
+			prep.done[i] = row
+			if opts.Log != nil {
+				opts.Log("sweep: cell %d served from cache (%.12s…)", i, key)
+			}
+			if prep.cp != nil {
+				prep.cp.Append(row)
+			}
+		}
+		prep.pending = kept
+	}
+	if dopts.OnRow != nil {
+		for i := range prep.cells {
+			if row, ok := prep.done[i]; ok {
+				dopts.OnRow(row, true)
+			}
+		}
+	}
+
+	// Fully satisfied without computing: skip the coordinator entirely —
+	// a resubmitted spec completes even with zero workers attached.
+	if len(prep.pending) == 0 {
+		ln.Close()
+		rows := make([]SweepRow, 0, len(prep.cells))
+		for i := range prep.cells {
+			rows = append(rows, prep.done[i])
+		}
+		if prep.cp != nil {
+			if err := prep.cp.Err(); err != nil {
+				return rows, err
+			}
+		}
+		return rows, nil
+	}
+
 	job := SweepJob{
 		Axes:        prep.axes,
 		Fingerprint: prep.axes.Fingerprint(),
@@ -177,13 +247,26 @@ func SweepDispatch(ctx context.Context, axes SweepAxes, opts SweepOptions, dopts
 	co := dispatch.NewCoordinator(spec, prep.pending, dispatch.Options{
 		LeaseTimeout: dopts.LeaseTimeout,
 		MaxLeases:    1 + retries,
+		Token:        dopts.Token,
+		Revive:       dopts.Revive,
+		RetryBackoff: dopts.RetryBackoff,
 		Log:          opts.Log,
 		OnSettled: func(cell int, s dispatch.Settled) {
-			if prep.cp == nil {
+			if prep.cp == nil && dopts.Cache == nil && dopts.OnRow == nil {
 				return
 			}
-			if row, ok := dispatchRow(cells[cell], s, retries); ok {
+			row, ok := dispatchRow(cells[cell], s, retries)
+			if !ok {
+				return
+			}
+			if prep.cp != nil {
 				prep.cp.Append(row)
+			}
+			if dopts.Cache != nil {
+				dopts.Cache.Put(CellFingerprint(row.SweepCell, prep.axes.Bits, prep.axes.Set), row)
+			}
+			if dopts.OnRow != nil {
+				dopts.OnRow(row, false)
 			}
 		},
 	})
@@ -254,6 +337,51 @@ func runLocalDispatch(ctx context.Context, axes SweepAxes, opts SweepOptions, do
 	}
 	rows, err := SweepDispatch(ctx, axes, opts, dopts, ln)
 	wg.Wait()
+	return rows, err
+}
+
+// runSupervisedDispatch is runLocalDispatch with self-healing: the n
+// in-process workers run under a dispatch.Supervisor, so a worker that
+// dies mid-grid (a flap plan's drop, a panic) is respawned with
+// deterministic backoff and redials the coordinator with DialRetry.
+// Paired with dopts.Revive on the coordinator it is the in-process
+// model of `metaleak serve`'s fleet: a flapping run converges to the
+// clean rows with zero quarantined cells.
+func runSupervisedDispatch(ctx context.Context, axes SweepAxes, opts SweepOptions, dopts DispatchOptions, n int, h *faults.Harness) ([]SweepRow, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	addr := ln.Addr().String()
+	fctx, fcancel := context.WithCancel(ctx)
+	defer fcancel()
+	sup := &dispatch.Supervisor{
+		Workers: n,
+		Backoff: runner.ExpBackoff(time.Millisecond),
+		Log:     opts.Log,
+		Start: func(ctx context.Context, slot, attempt int) error {
+			w := &dispatch.Worker{
+				ID:        fmt.Sprintf("sup-%d-%d", slot, attempt),
+				Heartbeat: 50 * time.Millisecond,
+				Token:     dopts.Token,
+				Init: func(spec json.RawMessage) (dispatch.Session, error) {
+					return NewSweepSessionHarness(spec, h)
+				},
+			}
+			conn, err := dispatch.DialRetry(ctx, addr, 5, runner.ExpBackoff(5*time.Millisecond))
+			if err != nil {
+				return err
+			}
+			return w.Run(ctx, conn)
+		},
+	}
+	supDone := make(chan error, 1)
+	go func() { supDone <- sup.Run(fctx) }()
+	rows, err := SweepDispatch(ctx, axes, opts, dopts, ln)
+	fcancel() // release slots mid-respawn; drained slots already exited
+	if serr := <-supDone; serr != nil && err == nil {
+		err = serr
+	}
 	return rows, err
 }
 

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+)
+
+// The sweep's output renderers live here, shared by `metaleak sweep`
+// and the serve endpoints — one implementation, so a row fetched over
+// HTTP is byte-identical to the same row on the CLI's stdout by
+// construction, which is the property the serve smoke test diffs.
+
+// WriteRowsCSV renders rows as `metaleak sweep`'s CSV: wide by default,
+// or long (one (cell, metric, value) record per measurement) when long
+// is set.
+func WriteRowsCSV(w io.Writer, rows []SweepRow, long bool) error {
+	cw := csv.NewWriter(w)
+	header := CSVHeader()
+	if long {
+		header = LongHeader()
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if long {
+			for _, rec := range r.LongRecords() {
+				if err := cw.Write(rec); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		if err := cw.Write(r.CSVRecord()); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSweepJSON renders rows plus their per-point aggregates as
+// `metaleak sweep -json`'s document.
+func WriteSweepJSON(w io.Writer, axes SweepAxes, rows []SweepRow) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Rows   []SweepRow
+		Points []SweepPoint
+	}{rows, axes.Aggregate(rows)})
+}

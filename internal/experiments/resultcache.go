@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"sync"
+)
+
+// The result cache is the content-addressed half of the sweep service:
+// one completed cell's row, keyed by everything that determines it and
+// nothing that doesn't. A sweep checkpoint is keyed by the whole grid's
+// fingerprint, so it only ever serves an exact resubmission; the cell
+// cache is keyed per cell, so *overlapping* grids — the same design
+// points swept again with more reps, or submitted by a different client
+// — reuse every cell they share and compute only the new ones. The file
+// layout deliberately mirrors the checkpoint: JSONL with a header line,
+// O(1) appends, and the crash signature confined to one torn trailing
+// line that load salvages away.
+
+// cellCacheFormat identifies the cache file layout; bump on changes.
+const cellCacheFormat = "metaleak-cellcache/v1"
+
+// CellFingerprint is the content address of one sweep cell's result: a
+// hash of the cell's full identity — config, axis values, rep, and the
+// derived machine seed — plus the per-cell bit budget and the
+// design-point overrides, and *not* the cell's grid index. Everything
+// runSweepCell reads is covered, so equal fingerprints compute
+// byte-identical rows; the index is excluded, so the same design point
+// at the same derived seed hashes equally wherever it lands in a grid.
+func CellFingerprint(c SweepCell, bits int, set []string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "cell/v1 %s %s %d %d %d %d bits=%d set=%q\n",
+		c.Config, c.MinorLabel(), c.MetaKB, c.Noise, c.Rep, c.Seed, bits, set)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+type cacheEntry struct {
+	Key string
+	Row SweepRow
+}
+
+// ResultCache is a content-addressed store of completed cell rows,
+// optionally persisted as JSONL. Only clean measurements are cached —
+// a failed cell may have failed transiently, and a later sweep deserves
+// its retry. Safe for concurrent use.
+type ResultCache struct {
+	mu        sync.Mutex
+	rows      map[string]SweepRow
+	path      string
+	f         *os.File // lazily opened append handle
+	discarded string   // torn trailing line salvaged away at open
+	err       error    // first persistence failure; appends stop after it
+}
+
+// OpenResultCache opens (or starts) a persisted result cache at path,
+// or a memory-only cache when path is empty. A missing or empty file
+// begins an empty cache; an existing one must be well-formed apart from
+// the append discipline's own crash signature — an unterminated
+// trailing line, which is salvaged (cut off, reported via Discarded)
+// instead of failing the open.
+func OpenResultCache(path string) (*ResultCache, error) {
+	rc := &ResultCache{rows: map[string]SweepRow{}, path: path}
+	if path == "" {
+		return rc, nil
+	}
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) || (err == nil && len(data) == 0) {
+		return rc, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("result cache %s: %w", path, err)
+	}
+
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		// A single torn line: a crash before the header's append
+		// completed. Nothing salvageable, nothing lost — start fresh.
+		rc.discarded = string(data)
+		if err := os.Truncate(path, 0); err != nil {
+			return nil, fmt.Errorf("result cache %s: cutting torn header: %w", path, err)
+		}
+		return rc, nil
+	}
+	var hdr struct{ Format string }
+	if err := json.Unmarshal(data[:nl], &hdr); err != nil || hdr.Format != cellCacheFormat {
+		return nil, fmt.Errorf("result cache %s: not a %s file", path, cellCacheFormat)
+	}
+
+	off := nl + 1
+	rest := data[off:]
+	for line := 2; len(rest) > 0; line++ {
+		idx := bytes.IndexByte(rest, '\n')
+		if idx < 0 {
+			// Torn trailing line: the crash signature. Salvage everything
+			// before it and cut the tear off so appends resume cleanly.
+			rc.discarded = string(rest)
+			if err := os.Truncate(path, int64(off)); err != nil {
+				return nil, fmt.Errorf("result cache %s: cutting torn line: %w", path, err)
+			}
+			break
+		}
+		seg := rest[:idx]
+		off += idx + 1
+		rest = rest[idx+1:]
+		if len(bytes.TrimSpace(seg)) == 0 {
+			continue
+		}
+		var e cacheEntry
+		if err := json.Unmarshal(seg, &e); err != nil {
+			return nil, fmt.Errorf("result cache %s: line %d: %w", path, line, err)
+		}
+		if len(e.Key) != sha256.Size*2 {
+			return nil, fmt.Errorf("result cache %s: line %d: malformed key %q", path, line, e.Key)
+		}
+		if e.Row.Err != "" {
+			return nil, fmt.Errorf("result cache %s: line %d: cached row carries an error (%q) — only clean measurements belong here", path, line, e.Row.Err)
+		}
+		rc.rows[e.Key] = e.Row // duplicates allowed; last wins
+	}
+	return rc, nil
+}
+
+// Get returns the cached row for a cell fingerprint. The returned row's
+// grid index is meaningless (normalized to 0 on Put): the caller
+// re-stamps row.SweepCell with its own grid's cell, which the key
+// guarantees is identical in every field the measurement depends on.
+func (rc *ResultCache) Get(key string) (SweepRow, bool) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	row, ok := rc.rows[key]
+	return row, ok
+}
+
+// Put records one completed cell. Rows carrying an error are ignored
+// (a failure may be transient; never serve it from cache), as are keys
+// already present (re-running a cached grid must not grow the file).
+func (rc *ResultCache) Put(key string, row SweepRow) {
+	if row.Err != "" {
+		return
+	}
+	row.Index = 0 // grid-dependent; the key is grid-independent
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if _, ok := rc.rows[key]; ok {
+		return
+	}
+	rc.rows[key] = row
+	if rc.path == "" || rc.err != nil {
+		return
+	}
+	rc.err = rc.appendLocked(cacheEntry{Key: key, Row: row})
+}
+
+// Len returns the number of cached cells.
+func (rc *ResultCache) Len() int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return len(rc.rows)
+}
+
+// Discarded returns the torn trailing line OpenResultCache salvaged
+// away, if any — callers surface it as a warning so the data loss
+// (exactly one re-computable cell) is visible, not silent.
+func (rc *ResultCache) Discarded() string {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.discarded
+}
+
+// Err returns the first persistence failure, if any. The cache keeps
+// serving from memory after one — persistence is an optimization, not
+// correctness.
+func (rc *ResultCache) Err() error {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.err
+}
+
+// Close releases the append handle. The file needs no finalization —
+// every append left it complete.
+func (rc *ResultCache) Close() error {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.f == nil {
+		return nil
+	}
+	err := rc.f.Close()
+	rc.f = nil
+	return err
+}
+
+// appendLocked writes one entry line, opening the file (and writing the
+// header) on first use. Lines are single Write calls ending in '\n', so
+// the only state a crash can leave behind is a torn final line — the
+// exact shape OpenResultCache knows how to salvage.
+func (rc *ResultCache) appendLocked(e cacheEntry) error {
+	if rc.f == nil {
+		f, err := os.OpenFile(rc.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("result cache %s: %w", rc.path, err)
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("result cache %s: %w", rc.path, err)
+		}
+		if st.Size() == 0 {
+			hdr, err := json.Marshal(struct{ Format string }{cellCacheFormat})
+			if err != nil {
+				f.Close()
+				return err
+			}
+			if _, err := f.Write(append(hdr, '\n')); err != nil {
+				f.Close()
+				return fmt.Errorf("result cache %s: %w", rc.path, err)
+			}
+		}
+		rc.f = f
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	if _, err := rc.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("result cache %s: %w", rc.path, err)
+	}
+	return nil
+}

@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"metaleak/internal/arch"
+)
+
+func sampleRow(idx, rep int) SweepRow {
+	return SweepRow{
+		SweepCell: SweepCell{
+			Index: idx, Config: "sct", MinorBits: 7, MetaKB: 64,
+			Noise: 0, Rep: rep, Seed: uint64(1000 + rep),
+		},
+		CovertAccuracy: 0.4 + float64(rep)/10, MonitorAccuracy: 0.9,
+	}
+}
+
+// TestCellFingerprintGridIndependent: the content address covers every
+// field the measurement depends on and excludes the grid index — the
+// property that lets overlapping grids share cells.
+func TestCellFingerprintGridIndependent(t *testing.T) {
+	a := sampleRow(3, 1).SweepCell
+	b := a
+	b.Index = 17 // same design point landing elsewhere in a bigger grid
+	if CellFingerprint(a, 8, nil) != CellFingerprint(b, 8, nil) {
+		t.Error("grid index reached the fingerprint")
+	}
+	for name, mutate := range map[string]func(*SweepCell){
+		"config": func(c *SweepCell) { c.Config = "sgx" },
+		"minor":  func(c *SweepCell) { c.MinorBits = 6 },
+		"meta":   func(c *SweepCell) { c.MetaKB = 256 },
+		"noise":  func(c *SweepCell) { c.Noise = 8000 },
+		"rep":    func(c *SweepCell) { c.Rep = 2 },
+		"seed":   func(c *SweepCell) { c.Seed = 2 },
+	} {
+		m := a
+		mutate(&m)
+		if CellFingerprint(a, 8, nil) == CellFingerprint(m, 8, nil) {
+			t.Errorf("changing %s did not change the fingerprint", name)
+		}
+	}
+	if CellFingerprint(a, 8, nil) == CellFingerprint(a, 16, nil) {
+		t.Error("bit budget did not change the fingerprint")
+	}
+	if CellFingerprint(a, 8, nil) == CellFingerprint(a, 8, []string{"FastCrypto=true"}) {
+		t.Error("-set overrides did not change the fingerprint")
+	}
+}
+
+// TestResultCacheRoundTrip: Put/Get through a persisted file, reload
+// from disk, index normalization, and the refusal to cache failures.
+func TestResultCacheRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.jsonl")
+	rc, err := OpenResultCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := sampleRow(3, 1)
+	key := CellFingerprint(row.SweepCell, 8, nil)
+	rc.Put(key, row)
+
+	bad := sampleRow(9, 2)
+	bad.Err = "boom"
+	rc.Put(CellFingerprint(bad.SweepCell, 8, nil), bad)
+	if rc.Len() != 1 {
+		t.Fatalf("cache holds %d rows, want 1 (failed row must not cache)", rc.Len())
+	}
+	got, ok := rc.Get(key)
+	if !ok || got.Index != 0 || got.Rep != 1 || got.CovertAccuracy != row.CovertAccuracy {
+		t.Fatalf("Get = (%+v, %v), want the put row with Index normalized to 0", got, ok)
+	}
+	if err := rc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	rc.Close()
+
+	// Reload from disk: the persisted entry survives; re-putting it must
+	// not grow the file.
+	before := mustSize(t, path)
+	rc2, err := OpenResultCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc2.Close()
+	if rc2.Len() != 1 || rc2.Discarded() != "" {
+		t.Fatalf("reloaded cache: %d rows, discarded %q", rc2.Len(), rc2.Discarded())
+	}
+	if _, ok := rc2.Get(key); !ok {
+		t.Fatal("persisted row missing after reload")
+	}
+	rc2.Put(key, row)
+	if mustSize(t, path) != before {
+		t.Error("re-putting a cached key grew the file")
+	}
+}
+
+// TestResultCacheSalvagesTornLine: a crash mid-append leaves one
+// unterminated trailing line; open cuts it off, reports it, and keeps
+// every complete entry.
+func TestResultCacheSalvagesTornLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.jsonl")
+	rc, err := OpenResultCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, r2 := sampleRow(0, 0), sampleRow(1, 1)
+	k1 := CellFingerprint(r1.SweepCell, 8, nil)
+	rc.Put(k1, r1)
+	rc.Put(CellFingerprint(r2.SweepCell, 8, nil), r2)
+	rc.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-9], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	torn, err := OpenResultCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer torn.Close()
+	if torn.Len() != 1 || torn.Discarded() == "" {
+		t.Fatalf("salvage kept %d rows, discarded %q; want 1 row + a reported tear", torn.Len(), torn.Discarded())
+	}
+	if _, ok := torn.Get(k1); !ok {
+		t.Error("complete entry lost in the salvage")
+	}
+
+	// A wrong-format file is refused outright, never "salvaged".
+	bogus := filepath.Join(t.TempDir(), "bogus.jsonl")
+	if err := os.WriteFile(bogus, []byte("{\"Format\":\"something-else/v9\"}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenResultCache(bogus); err == nil || !strings.Contains(err.Error(), cellCacheFormat) {
+		t.Errorf("wrong-format open: %v, want a format refusal", err)
+	}
+}
+
+// TestDispatchCacheServesResubmission: end-to-end through
+// SweepDispatch — a populated cache serves an identical grid with zero
+// workers attached, and OnRow tells cached from computed rows.
+func TestDispatchCacheServesResubmission(t *testing.T) {
+	ctx := context.Background()
+	axes := SweepAxes{
+		Configs:   []string{"sct"},
+		MinorBits: []uint{7},
+		MetaKB:    []int{64},
+		Noise:     []arch.Cycles{0},
+		Seeds:     2,
+		Seed:      21,
+		Bits:      8,
+		Set:       []string{"SecurePages=16384", "FastCrypto=true"},
+	}
+	cache, err := OpenResultCache("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := runLocalDispatch(ctx, axes, SweepOptions{}, DispatchOptions{Cache: cache}, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != len(first) {
+		t.Fatalf("cache holds %d cells, want %d", cache.Len(), len(first))
+	}
+
+	var cached, computed int
+	var hits []string
+	again, err := runLocalDispatch(ctx, axes, SweepOptions{
+		Log: func(format string, args ...any) { hits = append(hits, format) },
+	}, DispatchOptions{
+		Cache: cache,
+		OnRow: func(_ SweepRow, fromCache bool) {
+			if fromCache {
+				cached++
+			} else {
+				computed++
+			}
+		},
+	}, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached != len(first) || computed != 0 {
+		t.Fatalf("resubmission: %d cached + %d computed, want %d + 0", cached, computed, len(first))
+	}
+	if err := rowsIdentical(first, again); err != nil {
+		t.Fatal(err)
+	}
+	served := 0
+	for _, h := range hits {
+		if strings.Contains(h, "served from cache") {
+			served++
+		}
+	}
+	if served != len(first) {
+		t.Errorf("logged %d cache-served cells, want %d", served, len(first))
+	}
+}
+
+// TestChaosServeInvariants runs the chaos driver's serve leg — flap
+// recovery under supervision, cache-served resubmission, and
+// overlapping-grid reuse — so `go test` covers what `metaleak chaos`
+// gates in CI.
+func TestChaosServeInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs six sweeps")
+	}
+	if err := ChaosServe(context.Background(), t.TempDir(), 0xC4A05); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustSize(t *testing.T, path string) int64 {
+	t.Helper()
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.Size()
+}

@@ -27,14 +27,21 @@
 //
 // CLASS is ciphertext, mac, minor, major, node, row, or any (class
 // drawn from the seed per injection; H defaults to 512). KIND is
-// panic, stall, err, or disconnect — the last only meaningful under a
-// distributed sweep, where it makes the worker holding CELL's lease
-// drop its coordinator connection (the in-process analog of kill -9)
-// so the drop/revoke/re-lease path is exercised. Examples:
+// panic, stall, err, disconnect, or flap — the last two only meaningful
+// under a distributed sweep, where they make the worker holding CELL's
+// lease drop its coordinator connection (the in-process analog of
+// kill -9) so the drop/revoke/re-lease path is exercised. disconnect
+// and flap inject identically at the worker; they differ in what the
+// run promises about recovery: a disconnect consumes the cell's lease
+// budget (the fleet is unsupervised, the cell marches toward
+// quarantine), while flap expects a supervised fleet — the worker
+// respawns, redials, and the cell re-deals without losing an attempt,
+// which is exactly the invariant `metaleak chaos` asserts. Examples:
 //
 //	machine:mac@40
 //	machine:any@auto6/256
 //	harness:panic@3x2;harness:trunc@2
+//	harness:flap@1x2;harness:flap@4
 package faults
 
 import (
@@ -73,6 +80,14 @@ const (
 	// lease revocation and re-deal. Only distributed sweeps consult it;
 	// single-process runs ignore it.
 	HarnessDisconnect
+	// HarnessFlap is a disconnect-then-reconnect: the worker drops its
+	// connection exactly like HarnessDisconnect, but the run is expected
+	// to be supervised — the supervisor respawns the worker, dial retry
+	// reattaches it, and the coordinator's revive budget re-deals the
+	// cell without consuming attempts. Chaos uses it to prove a flapping
+	// fleet converges byte-identical to a clean run with zero
+	// quarantined cells.
+	HarnessFlap
 )
 
 // String renders the kind name used in specs.
@@ -88,6 +103,8 @@ func (k HarnessKind) String() string {
 		return "trunc"
 	case HarnessDisconnect:
 		return "disconnect"
+	case HarnessFlap:
+		return "flap"
 	}
 	return "unknown"
 }
@@ -144,12 +161,13 @@ func (p *Plan) MachineSpec() string { return strings.Join(p.machineRaw, ";") }
 // holding the lease.
 func (p *Plan) HarnessSpec() string { return strings.Join(p.harnessRaw, ";") }
 
-// HasDisconnect reports whether any disconnect entries are planned —
-// they require a distributed run to mean anything, and the CLI rejects
-// them otherwise instead of silently ignoring the plan.
+// HasDisconnect reports whether any disconnect or flap entries are
+// planned — both drop worker connections, so they require a distributed
+// run to mean anything, and the CLI rejects them otherwise instead of
+// silently ignoring the plan.
 func (p *Plan) HasDisconnect() bool {
 	for _, he := range p.Harness {
-		if he.Kind == HarnessDisconnect {
+		if he.Kind == HarnessDisconnect || he.Kind == HarnessFlap {
 			return true
 		}
 	}
@@ -268,8 +286,10 @@ func parseHarness(kind, where string) (HarnessEntry, error) {
 		he.Kind = HarnessTrunc
 	case "disconnect":
 		he.Kind = HarnessDisconnect
+	case "flap":
+		he.Kind = HarnessFlap
 	default:
-		return he, fmt.Errorf("unknown kind %q (panic, stall, err, disconnect, or trunc)", kind)
+		return he, fmt.Errorf("unknown kind %q (panic, stall, err, disconnect, flap, or trunc)", kind)
 	}
 	cell := where
 	if c, n, ok := strings.Cut(where, "x"); ok {

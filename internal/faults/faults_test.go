@@ -71,6 +71,41 @@ func TestParseDisconnect(t *testing.T) {
 	}
 }
 
+// TestParseFlap: the flap kind (disconnect-then-reconnect) parses,
+// counts as a disconnect for the needs-distributed check, routes to the
+// worker-side drop hook, and re-renders through HarnessSpec.
+func TestParseFlap(t *testing.T) {
+	p, err := Parse("harness:flap@1x2;harness:flap@4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.HasDisconnect() {
+		t.Error("flap plan: HasDisconnect() = false")
+	}
+	if p.Harness[0].Kind != HarnessFlap || p.Harness[0].Cell != 1 || p.Harness[0].Fails != 2 {
+		t.Errorf("harness[0] = %+v, want flap cell 1 x2", p.Harness[0])
+	}
+	if got := p.HarnessSpec(); got != "harness:flap@1x2;harness:flap@4" {
+		t.Errorf("HarnessSpec() = %q", got)
+	}
+	if HarnessFlap.String() != "flap" {
+		t.Errorf("String() = %q", HarnessFlap)
+	}
+	h := p.NewHarness()
+	if !h.HasDisconnects() {
+		t.Error("flap harness: HasDisconnects() = false")
+	}
+	if !h.Disconnect(1) || !h.Disconnect(1) || h.Disconnect(1) {
+		t.Error("flap drops did not fire exactly twice for cell 1")
+	}
+	if !h.Disconnect(4) || h.Disconnect(4) {
+		t.Error("flap drops did not fire exactly once for cell 4")
+	}
+	if h.Disconnect(0) {
+		t.Error("unplanned cell dropped")
+	}
+}
+
 // TestHarnessDisconnect: planned drops fire on the cell's first Fails
 // offers and never touch WrapTrial's attempt counting.
 func TestHarnessDisconnect(t *testing.T) {

@@ -54,7 +54,10 @@ func (p *Plan) NewHarness() *Harness {
 			if h.truncAfter == 0 || he.Cell < h.truncAfter {
 				h.truncAfter = he.Cell
 			}
-		case HarnessDisconnect:
+		case HarnessDisconnect, HarnessFlap:
+			// Identical at the worker (drop the connection); flap differs
+			// only in what the surrounding run promises — a supervised
+			// fleet that respawns and reattaches.
 			h.disconnects = append(h.disconnects, he)
 		default:
 			h.entries = append(h.entries, he)
