@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet metalint lint-inventory secretflow-test test dispatch-race fuzz-smoke bench bench-json bench-gate
+.PHONY: check build vet metalint lint-inventory secretflow-test test dispatch-race fuzz-smoke hunt-smoke bench bench-json bench-gate
 
 check: vet metalint lint-inventory secretflow-test test dispatch-race
 
@@ -39,14 +39,28 @@ test:
 # invariants are exercised on every check even when the surrounding
 # packages are unchanged.
 dispatch-race:
-	$(GO) test -race -count=1 -run 'Dispatch|Serve|Supervis|DialRetry|ResultCache|CellFingerprint' \
+	$(GO) test -race -count=1 -run 'Dispatch|Serve|Supervis|DialRetry|ResultCache|CellFingerprint|Hunt|JobSession' \
 		./internal/dispatch ./internal/experiments ./internal/serve ./cmd/metaleak
 
 # Ten seconds of coverage-guided fuzzing per parser-shaped surface:
 # cheap enough for CI, long enough to catch a decoder regression.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzTraceRoundTrip -fuzztime=10s ./internal/trace
+	$(GO) test -run='^$$' -fuzz=FuzzTraceDiff -fuzztime=10s ./internal/trace
 	$(GO) test -run='^$$' -fuzz=FuzzProtocolRoundTrip -fuzztime=10s ./internal/dispatch
+
+# The differential-fuzzer smoke: a fixed 2-config x 4-program x 2-pair
+# grid must reproduce the committed verdict CSV byte for byte, at any
+# -par width and through the distributed dispatch path. Regenerate the
+# golden (after auditing the diff) by copying /tmp/hunt-smoke.csv over
+# internal/hunt/testdata/smoke.csv.
+HUNT_SMOKE = hunt -configs sct,ht -programs 4 -pairs 2 -seed 42
+
+hunt-smoke:
+	$(GO) run ./cmd/metaleak $(HUNT_SMOKE) 2>/dev/null > /tmp/hunt-smoke.csv
+	diff internal/hunt/testdata/smoke.csv /tmp/hunt-smoke.csv
+	$(GO) run ./cmd/metaleak $(HUNT_SMOKE) -par 1 2>/dev/null | diff /tmp/hunt-smoke.csv -
+	$(GO) run ./cmd/metaleak $(HUNT_SMOKE) -workers 2 2>/dev/null | diff /tmp/hunt-smoke.csv -
 
 # Sequential vs GOMAXPROCS-parallel wall-clock over the full experiment
 # registry: the speedup the spec/trial/merge harness buys on this

@@ -1,0 +1,227 @@
+package main
+
+import (
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"metaleak/internal/experiments"
+	"metaleak/internal/faults"
+	"metaleak/internal/hunt"
+	"metaleak/internal/machine"
+	"metaleak/internal/runner"
+)
+
+// huntCmd is the CLI face of the differential leakage fuzzer: expand a
+// (config x program x secret-pair) grid, run every pair twice, and emit
+// one verdict row per cell. It shares the sweep's execution machinery —
+// -par, -checkpoint, -set, -faults, -workers/-listen — and its
+// byte-identical-output contract.
+func huntCmd(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("hunt", flag.ContinueOnError)
+	configs := fs.String("configs", "sct", "comma-separated design points (sct,ht,sgx)")
+	programs := fs.Int("programs", 4, "generated victim programs per config")
+	pairs := fs.Int("pairs", 2, "differential secret pairs per program")
+	ops := fs.Int("ops", 64, "operations per generated program")
+	secretLen := fs.Int("secret-len", 8, "secret length in bytes")
+	seed := fs.Uint64("seed", 0, "base seed (programs, secrets and machines all derive from it)")
+	asJSON := fs.Bool("json", false, "emit rows and summary as JSON (default CSV)")
+	par := fs.Int("par", 0, "max cells in flight (0 = GOMAXPROCS; output is identical for every value)")
+	checkpoint := fs.String("checkpoint", "", "persist completed cells to FILE and resume from it on rerun")
+	inventory := fs.String("inventory", "", "cross-check discovered channels against a secretflow leakage inventory FILE")
+	workers := fs.Int("workers", 0, "distributed: spawn N local `metaleak worker` processes and deal cells to them over a private socket")
+	listen := fs.String("listen", "", "distributed: accept remote `metaleak worker -connect` processes on ADDR (host:port, unix:PATH, or /path)")
+	leaseTimeout := fs.Duration("lease-timeout", 10*time.Second, "distributed: silence window after which a worker's leased cells revoke and re-deal")
+	token := fs.String("token", os.Getenv("METALEAK_TOKEN"), "distributed: shared auth token workers must present (default $METALEAK_TOKEN; empty = no auth)")
+	faultSpec := fs.String("faults", "", "fault plan (DESIGN.md §8): machine: entries corrupt metadata in every cell's machine, harness: entries fail trials and tear checkpoints")
+	retries := fs.Int("retries", 0, "extra attempts for a failed cell before quarantine")
+	trialTimeout := fs.Duration("trial-timeout", 0, "per-attempt cell deadline (0 = none)")
+	var sets multiFlag
+	fs.Var(&sets, "set", "DesignPoint field override Field=value (repeatable, e.g. -set Contract=\"allow=lat,time\")")
+	if _, err := parseInterleaved(fs, args); err != nil {
+		return err
+	}
+
+	axes := experiments.HuntAxes{
+		Programs:  *programs,
+		Pairs:     *pairs,
+		Ops:       *ops,
+		SecretLen: *secretLen,
+		Seed:      *seed,
+	}
+	for _, c := range strings.Split(*configs, ",") {
+		if c = strings.TrimSpace(c); c != "" {
+			axes.Configs = append(axes.Configs, c)
+		}
+	}
+	if len(axes.Configs) == 0 {
+		return fmt.Errorf("hunt: -configs needs at least one design point")
+	}
+	// Unlike sweep, hunt has no grid axes to remap -set values onto: every
+	// override passes straight through to the per-cell design point. The
+	// machine seed stays cell-owned, as in sweep.
+	for _, s := range sets {
+		ov, err := machine.ParseOverride(s)
+		if err != nil {
+			return fmt.Errorf("hunt: -set: %w", err)
+		}
+		if ov.Field == "Seed" {
+			return fmt.Errorf("hunt: set the base seed with -seed (per-cell machine seeds are derived from it)")
+		}
+		axes.Set = append(axes.Set, s)
+	}
+
+	explicit := explicitFlags(fs)
+	distributed := *workers > 0 || *listen != ""
+	if distributed && explicit["par"] {
+		return fmt.Errorf("hunt: -par is the single-process pool width; with -workers/-listen concurrency is the attached worker count, drop -par")
+	}
+	if !distributed && explicit["lease-timeout"] {
+		return fmt.Errorf("hunt: -lease-timeout only applies to distributed runs; add -workers N or -listen ADDR")
+	}
+	if !distributed && explicit["token"] {
+		return fmt.Errorf("hunt: -token authenticates dispatch workers; add -workers N or -listen ADDR")
+	}
+
+	var harness *faults.Harness
+	var harnessSpec string
+	if *faultSpec != "" {
+		plan, err := faults.Parse(*faultSpec)
+		if err != nil {
+			return fmt.Errorf("hunt: %w", err)
+		}
+		if plan.HasMachine() {
+			for _, s := range axes.Set {
+				if strings.HasPrefix(s, "FaultSpec=") {
+					return fmt.Errorf("hunt: -faults machine entries conflict with -set FaultSpec; pass the plan once")
+				}
+			}
+			axes.Set = append(axes.Set, "FaultSpec="+plan.MachineSpec())
+		}
+		if plan.HasDisconnect() && !distributed {
+			return fmt.Errorf("hunt: harness:disconnect faults drop dispatch workers; they need a distributed run (-workers N or -listen ADDR)")
+		}
+		harness = plan.NewHarness()
+		harnessSpec = plan.HarnessSpec()
+	}
+
+	opts := experiments.SweepOptions{
+		Workers:    *par,
+		Checkpoint: *checkpoint,
+		Timeout:    *trialTimeout,
+		Retries:    *retries,
+		Faults:     harness,
+		Log: func(format string, logArgs ...any) {
+			fmt.Fprintf(os.Stderr, "# "+format+"\n", logArgs...)
+		},
+	}
+	if *retries > 0 {
+		opts.Backoff = runner.ExpBackoff(50 * time.Millisecond)
+	}
+
+	var rows []experiments.HuntRow
+	var err error
+	if distributed {
+		dopts := experiments.DispatchOptions{LeaseTimeout: *leaseTimeout, HarnessSpec: harnessSpec, Token: *token}
+		rows, err = huntDistributed(ctx, axes, opts, dopts, *workers, *listen)
+	} else {
+		rows, err = experiments.HuntOpts(ctx, axes, opts)
+	}
+	if err != nil {
+		if (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) && len(rows) > 0 {
+			if emitErr := emitHunt(rows, *asJSON, *inventory); emitErr != nil {
+				return emitErr
+			}
+			total := len(axes.Cells())
+			if *checkpoint != "" {
+				fmt.Fprintf(os.Stderr, "# hunt interrupted: %d/%d cells done, checkpointed to %s; rerun the same command to resume\n",
+					len(rows), total, *checkpoint)
+			} else {
+				fmt.Fprintf(os.Stderr, "# hunt interrupted: %d/%d cells done (no -checkpoint: a rerun starts over)\n",
+					len(rows), total)
+			}
+		}
+		return err
+	}
+	return emitHunt(rows, *asJSON, *inventory)
+}
+
+// emitHunt renders rows (CSV or JSON) on stdout, the divergence summary
+// on stderr, and — with an inventory file — the static/dynamic
+// cross-check report.
+func emitHunt(rows []experiments.HuntRow, asJSON bool, inventoryPath string) error {
+	sum := experiments.Summarize(rows)
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Rows    []experiments.HuntRow
+			Summary experiments.HuntSummary
+		}{rows, sum}); err != nil {
+			return err
+		}
+	} else {
+		w := csv.NewWriter(os.Stdout)
+		if err := w.Write(experiments.HuntCSVHeader()); err != nil {
+			return err
+		}
+		for _, r := range rows {
+			if err := w.Write(r.CSVRecord()); err != nil {
+				return err
+			}
+		}
+		w.Flush()
+		if err := w.Error(); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "# hunt: %d cells, %d diverged, %d contract violations, %d missing required, %d errors\n",
+		sum.Cells, sum.Diverged, sum.Violations, sum.Missing, sum.Errs)
+	for _, ch := range hunt.Channels() {
+		if n := sum.Channels[ch]; n > 0 {
+			fmt.Fprintf(os.Stderr, "#   %-16s %d\n", ch, n)
+		}
+	}
+	if inventoryPath == "" {
+		return nil
+	}
+	counts, err := hunt.LoadInventory(inventoryPath)
+	if err != nil {
+		return fmt.Errorf("hunt: -inventory: %w", err)
+	}
+	var channels []string
+	for _, ch := range hunt.Channels() {
+		if sum.Channels[ch] > 0 {
+			channels = append(channels, ch)
+		}
+	}
+	for _, r := range hunt.CrossCheck(channels, counts) {
+		if r.Sites == 0 {
+			fmt.Fprintf(os.Stderr, "# cross-check %-16s UNPREDICTED: no committed leak site maps to it (looked for %s)\n",
+				r.Channel, strings.Join(r.Static, ","))
+		} else {
+			fmt.Fprintf(os.Stderr, "# cross-check %-16s predicted by %d static sites (%s)\n",
+				r.Channel, r.Sites, strings.Join(r.Static, ","))
+		}
+	}
+	return nil
+}
+
+// huntDistributed is the hunt twin of sweepDistributed: same fleet
+// setup, hunt dispatch engine.
+func huntDistributed(ctx context.Context, axes experiments.HuntAxes, opts experiments.SweepOptions, dopts experiments.DispatchOptions, workers int, listen string) ([]experiments.HuntRow, error) {
+	var rows []experiments.HuntRow
+	err := runWithFleet(ctx, workers, listen, dopts.Token, func(ctx context.Context, ln net.Listener) error {
+		var err error
+		rows, err = experiments.HuntDispatch(ctx, axes, opts, dopts, ln)
+		return err
+	})
+	return rows, err
+}

@@ -11,6 +11,10 @@
 //	                             [-set Field=value]... [-checkpoint FILE]
 //	                             [-json|-long] [-par N]
 //	                             [-workers N] [-listen ADDR] [-lease-timeout D] [-token T]
+//	metaleak hunt                [-configs sct,ht] [-programs N] [-pairs N] [-ops N]
+//	                             [-secret-len N] [-seed N] [-set Field=value]...
+//	                             [-checkpoint FILE] [-inventory FILE] [-json] [-par N]
+//	                             [-workers N] [-listen ADDR] [-lease-timeout D] [-token T]
 //	metaleak worker -connect ADDR [-id NAME] [-hb D] [-token T] [-dial-retries N]
 //	metaleak serve               [-addr ADDR] [-workers N] [-token T] [-state DIR]
 //	                             [-worker-listen ADDR] [-lease-timeout D] [-retries N]
@@ -45,6 +49,13 @@
 // revoked leases are absorbed by a -revive budget, and a
 // content-addressed cell cache plus per-sweep checkpoints make
 // resubmitted or overlapping grids reuse every cell already computed.
+// hunt is the differential leakage fuzzer (DESIGN.md §13): every cell
+// runs one seeded random victim program twice under two secrets on the
+// same machine seed and diffs the observation-projected metadata
+// traces; any divergence is a side channel, classified to a named
+// channel and judged against the design point's leakage contract, with
+// -inventory FILE cross-checking discovered channels against the
+// secretflow static leak-site inventory.
 // Experiment IDs follow the paper: table1, fig6, fig7, fig8,
 // fig11, fig12, fig14, fig15, fig15c, fig16, fig17, fig18; the
 // design-space ablations ablctr, abltree, ablmeta, ablminor, ablnoise,
@@ -120,6 +131,8 @@ func run(ctx context.Context, args []string) error {
 		return reportCmd(ctx, args[1:])
 	case "sweep":
 		return sweepCmd(ctx, args[1:])
+	case "hunt":
+		return huntCmd(ctx, args[1:])
 	case "worker":
 		return workerCmd(ctx, args[1:])
 	case "serve":
@@ -576,6 +589,10 @@ func usage() {
                       [-seeds N] [-seed N] [-bits N] [-set Field=value]...
                       [-checkpoint FILE] [-json|-long] [-par N]
                       [-workers N] [-listen ADDR] [-lease-timeout D] [-token T]
+       metaleak hunt [-configs sct,ht,sgx] [-programs N] [-pairs N] [-ops N]
+                     [-secret-len N] [-seed N] [-set Field=value]...
+                     [-checkpoint FILE] [-inventory FILE] [-json] [-par N]
+                     [-workers N] [-listen ADDR] [-lease-timeout D] [-token T]
        metaleak worker -connect ADDR [-id NAME] [-hb D] [-token T] [-dial-retries N]
        metaleak serve [-addr ADDR] [-workers N] [-token T] [-state DIR]
                       [-worker-listen ADDR] [-lease-timeout D] [-retries N] [-revive N]
@@ -591,5 +608,8 @@ byte-identical output (DESIGN.md §9); worker attaches this machine to
 a remote sweep coordinator. serve is the persistent sweep service
 (DESIGN.md §12): submit specs over HTTP, stream rows as they settle,
 share a content-addressed result cache across sweeps, and let a
-supervised worker fleet self-heal through crashes.`)
+supervised worker fleet self-heal through crashes. hunt is the
+differential leakage fuzzer (DESIGN.md §13): seeded random victim
+programs run twice under two secrets, trace divergence = side channel,
+checked against each design point's leakage contract.`)
 }

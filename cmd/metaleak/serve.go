@@ -27,6 +27,7 @@ func serveCmd(ctx context.Context, args []string) error {
 	workers := fs.Int("workers", 2, "supervised local worker processes (0 = external workers only)")
 	token := fs.String("token", os.Getenv("METALEAK_TOKEN"), "shared auth token: HTTP bearer + worker handshake (default $METALEAK_TOKEN; empty = no auth)")
 	state := fs.String("state", "", "state directory for the cell cache and sweep checkpoints (default: a fresh temp dir, printed at startup)")
+	cacheMax := fs.Int64("cache-max-bytes", 0, "cell cache size cap: past it the oldest entries evict and the file compacts (0 = unbounded)")
 	leaseTimeout := fs.Duration("lease-timeout", 10*time.Second, "silence window after which a worker's leased cells revoke and re-deal")
 	retries := fs.Int("retries", 1, "extra attempts for a failed cell before quarantine")
 	revive := fs.Int("revive", 16, "per-cell budget of worker-death revocations absorbed without consuming attempts (supervised fleets flap; deaths are not measurements)")
@@ -39,6 +40,9 @@ func serveCmd(ctx context.Context, args []string) error {
 	}
 	if *revive < 0 {
 		return fmt.Errorf("serve: -revive %d: must be >= 0", *revive)
+	}
+	if *cacheMax < 0 {
+		return fmt.Errorf("serve: -cache-max-bytes %d: must be >= 0 (0 = unbounded)", *cacheMax)
 	}
 
 	stateDir := *state
@@ -57,15 +61,16 @@ func serveCmd(ctx context.Context, args []string) error {
 		fmt.Fprintf(os.Stderr, "# "+format+"\n", logArgs...)
 	}
 	s, err := serve.New(serve.Config{
-		Token:        *token,
-		StateDir:     stateDir,
-		WorkerAddr:   *workerListen,
-		Workers:      *workers,
-		LeaseTimeout: *leaseTimeout,
-		Retries:      *retries,
-		Revive:       *revive,
-		TrialTimeout: *trialTimeout,
-		Log:          logf,
+		Token:         *token,
+		StateDir:      stateDir,
+		CacheMaxBytes: *cacheMax,
+		WorkerAddr:    *workerListen,
+		Workers:       *workers,
+		LeaseTimeout:  *leaseTimeout,
+		Retries:       *retries,
+		Revive:        *revive,
+		TrialTimeout:  *trialTimeout,
+		Log:           logf,
 		SpawnWorker: func(ctx context.Context, slot, attempt int, waddr string) error {
 			// This binary re-invoked as a worker. METALEAK_WORKER lets a
 			// test binary recognize the re-invocation; the token travels by

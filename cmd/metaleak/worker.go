@@ -20,10 +20,11 @@ import (
 // the coordinator-side glue `sweep -workers N` / `sweep -listen ADDR`
 // uses to spawn and supervise local workers.
 
-// workerCmd attaches this process to a sweep coordinator: dial, hand
-// the job to the sweep session, then pull and run cells until drained.
-// It is started implicitly by `sweep -workers N` (over a private unix
-// socket) or explicitly on other machines against `sweep -listen`.
+// workerCmd attaches this process to a coordinator: dial, hand the job
+// to the engine its Kind names (sweep or hunt), then pull and run cells
+// until drained. It is started implicitly by `sweep -workers N` /
+// `hunt -workers N` (over a private unix socket) or explicitly on other
+// machines against -listen.
 func workerCmd(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("worker", flag.ContinueOnError)
 	connect := fs.String("connect", "", "coordinator address (host:port for TCP, unix:PATH or /path for a unix socket)")
@@ -50,35 +51,37 @@ func workerCmd(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	w := &dispatch.Worker{ID: *id, Heartbeat: *hb, Token: *token, Init: experiments.NewSweepSession}
+	w := &dispatch.Worker{ID: *id, Heartbeat: *hb, Token: *token, Init: experiments.NewJobSession}
 	return w.Run(ctx, conn)
 }
 
-// sweepDistributed runs the sweep through the dispatch coordinator:
-// listening on -listen for remote workers, spawning -workers local
-// worker processes (this binary re-invoked as `metaleak worker` over a
-// private unix socket), or both. With only local workers, all of them
-// exiting before the grid settles cancels the run instead of hanging
-// the coordinator forever.
-func sweepDistributed(ctx context.Context, axes experiments.SweepAxes, opts experiments.SweepOptions, dopts experiments.DispatchOptions, workers int, listen string) ([]experiments.SweepRow, error) {
+// runWithFleet sets up a coordinator worker fleet and hands its
+// listener to body (which takes ownership of it): listening on listen
+// for remote workers, spawning `workers` local worker processes (this
+// binary re-invoked as `metaleak worker` over a private unix socket),
+// or both. With only local workers, all of them exiting before body
+// returns cancels the run instead of hanging the coordinator forever.
+// Both distributed engines — sweep and hunt — run through it; the
+// engine is picked worker-side by the job's Kind (NewJobSession).
+func runWithFleet(ctx context.Context, workers int, listen, token string, body func(ctx context.Context, ln net.Listener) error) error {
 	var ln net.Listener
 	addr := listen
 	if listen != "" {
 		var err error
 		ln, err = dispatch.Listen(listen)
 		if err != nil {
-			return nil, err
+			return err
 		}
 	} else {
 		dir, err := os.MkdirTemp("", "metaleak-dispatch-*")
 		if err != nil {
-			return nil, err
+			return err
 		}
 		defer os.RemoveAll(dir)
 		addr = filepath.Join(dir, "coord.sock")
 		ln, err = dispatch.Listen(addr)
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
 	ctx, cancel := context.WithCancel(ctx)
@@ -89,20 +92,20 @@ func sweepDistributed(ctx context.Context, axes experiments.SweepAxes, opts expe
 		self, err := os.Executable()
 		if err != nil {
 			ln.Close()
-			return nil, err
+			return err
 		}
 		// METALEAK_WORKER lets a test binary recognize the re-invocation
 		// (TestMain intercepts it); the production binary ignores it. The
 		// auth token travels by env, not argv — argv is visible in ps.
 		env := []string{"METALEAK_WORKER=1"}
-		if dopts.Token != "" {
-			env = append(env, "METALEAK_TOKEN="+dopts.Token)
+		if token != "" {
+			env = append(env, "METALEAK_TOKEN="+token)
 		}
 		cmds, err = dispatch.SpawnLocal(ctx, workers, self,
 			[]string{"worker", "-connect", addr}, env, os.Stderr)
 		if err != nil {
 			ln.Close()
-			return nil, err
+			return err
 		}
 		go func() {
 			for _, c := range cmds {
@@ -115,5 +118,17 @@ func sweepDistributed(ctx context.Context, axes experiments.SweepAxes, opts expe
 			}
 		}()
 	}
-	return experiments.SweepDispatch(ctx, axes, opts, dopts, ln)
+	return body(ctx, ln)
+}
+
+// sweepDistributed runs the sweep through the dispatch coordinator on a
+// runWithFleet worker fleet.
+func sweepDistributed(ctx context.Context, axes experiments.SweepAxes, opts experiments.SweepOptions, dopts experiments.DispatchOptions, workers int, listen string) ([]experiments.SweepRow, error) {
+	var rows []experiments.SweepRow
+	err := runWithFleet(ctx, workers, listen, dopts.Token, func(ctx context.Context, ln net.Listener) error {
+		var err error
+		rows, err = experiments.SweepDispatch(ctx, axes, opts, dopts, ln)
+		return err
+	})
+	return rows, err
 }

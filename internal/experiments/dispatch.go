@@ -28,6 +28,9 @@ import (
 // workers: everything a worker needs to expand the identical grid and
 // run any cell of it.
 type SweepJob struct {
+	// Kind tags the engine for NewJobSession routing ("sweep"); empty is
+	// accepted for specs written before hunt jobs existed.
+	Kind string `json:",omitempty"`
 	// Axes is the normalized sweep grid (including -set overrides, and
 	// hence any machine-level fault spec riding them).
 	Axes SweepAxes
@@ -231,6 +234,7 @@ func SweepDispatch(ctx context.Context, axes SweepAxes, opts SweepOptions, dopts
 	}
 
 	job := SweepJob{
+		Kind:        "sweep",
 		Axes:        prep.axes,
 		Fingerprint: prep.axes.Fingerprint(),
 		Timeout:     opts.Timeout,

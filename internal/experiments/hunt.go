@@ -1,0 +1,586 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"metaleak/internal/arch"
+	"metaleak/internal/dispatch"
+	"metaleak/internal/hunt"
+	"metaleak/internal/machine"
+	"metaleak/internal/runner"
+)
+
+// The hunt engine drives the differential leakage fuzzer
+// (internal/hunt) through the same spec/trial/merge harness as the
+// sweep: a deterministic grid of (config x program x secret pair)
+// cells, each an independent trial, each yielding one verdict row. The
+// execution contract is identical — rows are a pure function of the
+// axes and the cell index, so any -par worker count, any steal
+// schedule, and any resume produce byte-identical output.
+
+// HuntAxes enumerates the differential-fuzzing grid of `metaleak hunt`:
+// every config is crossed with Programs generated victim programs and
+// Pairs secret pairs per program.
+type HuntAxes struct {
+	Configs []string // base design points: "sct", "ht", "sgx"
+	// Set holds "Field=value" DesignPoint overrides applied to every
+	// cell (the sweep's -set mechanism, including Contract=... and
+	// FaultSpec=...). Part of the grid's identity and fingerprint.
+	Set []string
+	// Programs is the number of generated victim programs per config;
+	// Pairs the number of differential secret pairs per program.
+	Programs int
+	Pairs    int
+	// Ops is each program's operation count; SecretLen each secret's
+	// byte length.
+	Ops       int
+	SecretLen int
+	Seed      uint64
+}
+
+// DefaultHuntAxes is the smoke grid: one config, a handful of programs.
+func DefaultHuntAxes() HuntAxes {
+	return HuntAxes{
+		Configs:   []string{"sct"},
+		Programs:  4,
+		Pairs:     2,
+		Ops:       64,
+		SecretLen: 8,
+	}
+}
+
+// normalized applies the defaults Hunt applies, so fingerprints agree
+// with what actually runs.
+func (a HuntAxes) normalized() HuntAxes {
+	d := DefaultHuntAxes()
+	if a.Programs <= 0 {
+		a.Programs = d.Programs
+	}
+	if a.Pairs <= 0 {
+		a.Pairs = d.Pairs
+	}
+	if a.Ops <= 0 {
+		a.Ops = d.Ops
+	}
+	if a.SecretLen <= 0 {
+		a.SecretLen = d.SecretLen
+	}
+	return a
+}
+
+// Validate rejects grids that cannot mean anything.
+func (a HuntAxes) Validate() error {
+	if len(a.Configs) == 0 {
+		return fmt.Errorf("hunt: no configs")
+	}
+	return nil
+}
+
+// HuntCell is one point of the expanded grid: one program run twice
+// under one secret pair on one machine seed.
+type HuntCell struct {
+	Index   int // position in deterministic grid order
+	Config  string
+	Program int
+	Pair    int
+	// ProgSeed generates the victim program, PairSeed the secret pair,
+	// Seed the machine. All three derive from the base seed and the axis
+	// indices, never from completion order.
+	ProgSeed uint64
+	PairSeed uint64
+	Seed     uint64
+}
+
+// Cells expands the grid in deterministic nested order (configs
+// outermost, pairs innermost). Programs are shared across configs by
+// index — the same ProgSeed regardless of config — so per-config rows
+// for the same program are directly comparable.
+func (a HuntAxes) Cells() []HuntCell {
+	a = a.normalized()
+	var cells []HuntCell
+	for ci, cfg := range a.Configs {
+		for p := 0; p < a.Programs; p++ {
+			for q := 0; q < a.Pairs; q++ {
+				cells = append(cells, HuntCell{
+					Index:    len(cells),
+					Config:   cfg,
+					Program:  p,
+					Pair:     q,
+					ProgSeed: arch.NewRNG(a.Seed, 0x50, uint64(p)).Uint64(),
+					PairSeed: arch.NewRNG(a.Seed, 0x5E, uint64(p), uint64(q)).Uint64(),
+					Seed:     arch.NewRNG(a.Seed, 0x3A, uint64(ci), uint64(p), uint64(q)).Uint64(),
+				})
+			}
+		}
+	}
+	return cells
+}
+
+// HuntRow is one cell's verdict. Err is non-empty when the cell failed;
+// the rest of the grid is unaffected.
+type HuntRow struct {
+	HuntCell
+	hunt.Verdict
+	Err         string `json:",omitempty"`
+	Attempts    int    `json:",omitempty"`
+	Quarantined bool   `json:",omitempty"`
+}
+
+// HuntCSVHeader returns the column names of HuntRow.CSVRecord.
+func HuntCSVHeader() []string {
+	return []string{"config", "program", "pair", "prog_seed", "pair_seed", "seed",
+		"diverged", "channel", "first", "first_components", "components", "count",
+		"violation", "missing", "obs_a", "obs_b", "contract", "err", "attempts", "quarantined"}
+}
+
+// CSVRecord renders the row for `metaleak hunt`'s CSV output.
+func (r HuntRow) CSVRecord() []string {
+	diverged := "false"
+	if r.Diverged {
+		diverged = "true"
+	}
+	quarantined := ""
+	if r.Quarantined {
+		quarantined = "true"
+	}
+	attempts := ""
+	if r.Attempts > 0 {
+		attempts = fmt.Sprintf("%d", r.Attempts)
+	}
+	return []string{
+		r.Config,
+		fmt.Sprintf("%d", r.Program),
+		fmt.Sprintf("%d", r.Pair),
+		fmt.Sprintf("%d", r.ProgSeed),
+		fmt.Sprintf("%d", r.PairSeed),
+		fmt.Sprintf("%d", r.Seed),
+		diverged,
+		r.Channel,
+		fmt.Sprintf("%d", r.First),
+		r.FirstComponents,
+		r.Components,
+		fmt.Sprintf("%d", r.Count),
+		r.Violation,
+		r.Missing,
+		fmt.Sprintf("%d", r.ObsA),
+		fmt.Sprintf("%d", r.ObsB),
+		r.Contract,
+		r.Err,
+		attempts,
+		quarantined,
+	}
+}
+
+// runHuntCell runs one differential pair: regenerate the program and
+// secrets from the cell's seeds, build the design point (overrides
+// before the machine seed, which the cell owns), and judge the pair
+// under the design's contract.
+func runHuntCell(c HuntCell, a HuntAxes, ovs []machine.FieldOverride) (HuntRow, error) {
+	row := HuntRow{HuntCell: c}
+	base, _, err := sweepConfig(c.Config)
+	if err != nil {
+		return row, err
+	}
+	if err := machine.ApplyOverrides(&base, ovs); err != nil {
+		return row, err
+	}
+	base.Seed = c.Seed
+	prog := hunt.Generate(c.ProgSeed, a.Ops)
+	sa, sb := hunt.Secrets(c.PairSeed, a.SecretLen)
+	v, err := hunt.RunPair(base, prog, sa, sb)
+	if err != nil {
+		return row, err
+	}
+	row.Verdict = v
+	return row, nil
+}
+
+// HuntSummary aggregates a hunt's rows: divergence and violation
+// totals, and the channel census the acceptance criteria key on.
+type HuntSummary struct {
+	Cells      int
+	Diverged   int
+	Violations int
+	Missing    int
+	Errs       int
+	// Channels counts classified divergences per channel name, rendered
+	// in hunt.Channels() priority order by the CLI.
+	Channels map[string]int
+}
+
+// Summarize folds the rows.
+func Summarize(rows []HuntRow) HuntSummary {
+	s := HuntSummary{Cells: len(rows), Channels: map[string]int{}}
+	for _, r := range rows {
+		if r.Err != "" {
+			s.Errs++
+			continue
+		}
+		if r.Diverged {
+			s.Diverged++
+			s.Channels[r.Channel]++
+		}
+		if r.Violation != "" {
+			s.Violations++
+		}
+		if r.Missing != "" {
+			s.Missing++
+		}
+	}
+	return s
+}
+
+// huntPrep mirrors sweepPrep: normalize, validate, vet overrides,
+// expand, and open the checkpoint.
+type huntPrelude struct {
+	axes    HuntAxes
+	ovs     []machine.FieldOverride
+	cells   []HuntCell
+	cp      *HuntCheckpoint
+	done    map[int]HuntRow
+	pending []int
+}
+
+func huntPrep(axes HuntAxes, opts SweepOptions) (*huntPrelude, error) {
+	axes = axes.normalized()
+	if err := axes.Validate(); err != nil {
+		return nil, err
+	}
+	ovs, err := machine.ParseOverrides(axes.Set)
+	if err != nil {
+		return nil, fmt.Errorf("hunt: %w", err)
+	}
+	scratch := machine.ConfigSCT()
+	if err := machine.ApplyOverrides(&scratch, ovs); err != nil {
+		return nil, fmt.Errorf("hunt: %w", err)
+	}
+	prep := &huntPrelude{axes: axes, ovs: ovs, cells: axes.Cells(), done: map[int]HuntRow{}}
+
+	if opts.Checkpoint != "" {
+		cp, err := OpenHuntCheckpoint(opts.Checkpoint, axes)
+		if err != nil {
+			return nil, err
+		}
+		prep.cp = cp
+		if opts.Faults != nil {
+			cp.SetTamperer(opts.Faults.AfterAppend)
+		}
+		if d := cp.Discarded(); d != "" && opts.Log != nil {
+			opts.Log("checkpoint %s: discarded torn trailing line (%d bytes, crash mid-append); its cell will re-run", opts.Checkpoint, len(d))
+		}
+		prep.done = cp.Completed()
+	}
+	for i := range prep.cells {
+		if _, ok := prep.done[i]; !ok {
+			prep.pending = append(prep.pending, i)
+		}
+	}
+	return prep, nil
+}
+
+// settledHuntRow mirrors settledRow for hunt cells.
+func settledHuntRow(c HuntCell, res any, err error, pol runner.Policy) (HuntRow, bool) {
+	switch {
+	case err == nil:
+		return res.(HuntRow), true
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return HuntRow{}, false
+	default:
+		row := HuntRow{HuntCell: c, Err: err.Error()}
+		var te *runner.TrialError
+		if errors.As(err, &te) {
+			row.Err = te.Err.Error()
+			if pol.Retries > 0 {
+				row.Attempts = te.Attempts
+				row.Quarantined = true
+			}
+		}
+		return row, true
+	}
+}
+
+// Hunt runs the whole grid with at most `workers` cells in flight.
+func Hunt(ctx context.Context, axes HuntAxes, workers int) ([]HuntRow, error) {
+	return HuntOpts(ctx, axes, SweepOptions{Workers: workers})
+}
+
+// HuntOpts runs the grid under the full execution policy — the hunt
+// twin of SweepOpts, sharing its options type because the policy knobs
+// (workers, checkpoint, deadlines, retries, harness faults) are
+// engine-independent.
+func HuntOpts(ctx context.Context, axes HuntAxes, opts SweepOptions) ([]HuntRow, error) {
+	prep, err := huntPrep(axes, opts)
+	if err != nil {
+		return nil, err
+	}
+	axes, cells, cp, done := prep.axes, prep.cells, prep.cp, prep.done
+	ovs := prep.ovs
+	if cp != nil {
+		defer cp.Close()
+	}
+
+	pol := runner.Policy{
+		Workers: opts.Workers,
+		Timeout: opts.Timeout,
+		Retries: opts.Retries,
+		Backoff: opts.Backoff,
+	}
+	pending := prep.pending
+	trials := make([]runner.Trial, len(pending))
+	for ti, i := range pending {
+		c := cells[i]
+		trials[ti] = opts.Faults.WrapTrial(c.Index, func() (any, error) {
+			return runHuntCell(c, axes, ovs)
+		})
+	}
+	var onDone func(int, any, error)
+	if cp != nil {
+		onDone = func(ti int, res any, err error) {
+			if row, ok := settledHuntRow(cells[pending[ti]], res, err, pol); ok {
+				cp.Append(row)
+			}
+		}
+	}
+	parts, errs := runner.RunAllPolicy(ctx, trials, pol, onDone)
+
+	rows := make([]HuntRow, 0, len(cells))
+	interrupted := false
+	ti := 0
+	for i := range cells {
+		if row, ok := done[i]; ok {
+			rows = append(rows, row)
+			continue
+		}
+		row, ok := settledHuntRow(cells[i], parts[ti], errs[ti], pol)
+		ti++
+		if !ok {
+			interrupted = true
+			continue
+		}
+		rows = append(rows, row)
+	}
+	if cp != nil {
+		if err := cp.Err(); err != nil {
+			return rows, err
+		}
+	}
+	if interrupted {
+		return rows, ctx.Err()
+	}
+	return rows, nil
+}
+
+// HuntJob is the opaque job spec a hunt coordinator ships to workers;
+// Kind routes it (NewJobSession) so one worker binary serves both
+// engines.
+type HuntJob struct {
+	Kind        string // "hunt"
+	Axes        HuntAxes
+	Fingerprint string
+	Timeout     time.Duration
+	HarnessSpec string
+}
+
+// NewHuntSession initializes a worker-side dispatch session from a
+// HuntJob payload.
+func NewHuntSession(spec json.RawMessage) (dispatch.Session, error) {
+	var job HuntJob
+	if err := json.Unmarshal(spec, &job); err != nil {
+		return dispatch.Session{}, fmt.Errorf("hunt job: %w", err)
+	}
+	h, err := harnessFromSpec(job.HarnessSpec)
+	if err != nil {
+		return dispatch.Session{}, fmt.Errorf("hunt job: %w", err)
+	}
+	prep, err := huntPrep(job.Axes, SweepOptions{})
+	if err != nil {
+		return dispatch.Session{}, err
+	}
+	if fp := prep.axes.Fingerprint(); fp != job.Fingerprint {
+		return dispatch.Session{}, fmt.Errorf(
+			"hunt job: grid fingerprint mismatch (coordinator %.12s…, worker %.12s…): worker binary expands a different grid — version skew",
+			job.Fingerprint, fp)
+	}
+	cells, ovs, axes := prep.cells, prep.ovs, prep.axes
+	run := func(ctx context.Context, cell int) (json.RawMessage, error) {
+		if cell < 0 || cell >= len(cells) {
+			return nil, fmt.Errorf("leased cell %d outside grid of %d", cell, len(cells))
+		}
+		c := cells[cell]
+		trial := h.WrapTrial(c.Index, func() (any, error) {
+			return runHuntCell(c, axes, ovs)
+		})
+		res, errs := runner.RunAllPolicy(ctx, []runner.Trial{trial},
+			runner.Policy{Workers: 1, Timeout: job.Timeout}, nil)
+		if errs[0] != nil {
+			return nil, attemptCause(errs[0])
+		}
+		payload, err := json.Marshal(res[0].(HuntRow))
+		if err != nil {
+			return nil, err
+		}
+		return payload, nil
+	}
+	return dispatch.Session{Run: run, Drop: func(cell int) bool {
+		if cell < 0 || cell >= len(cells) {
+			return false
+		}
+		return h.Disconnect(cells[cell].Index)
+	}}, nil
+}
+
+// HuntDispatch runs the grid distributed, mirroring SweepDispatch:
+// work-stealing leases over ln, checkpoint streaming, grid-order rows
+// byte-identical to HuntOpts for any worker fleet.
+func HuntDispatch(ctx context.Context, axes HuntAxes, opts SweepOptions, dopts DispatchOptions, ln net.Listener) ([]HuntRow, error) {
+	prep, err := huntPrep(axes, opts)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	if prep.cp != nil {
+		defer prep.cp.Close()
+	}
+
+	if len(prep.pending) == 0 {
+		ln.Close()
+		rows := make([]HuntRow, 0, len(prep.cells))
+		for i := range prep.cells {
+			rows = append(rows, prep.done[i])
+		}
+		if prep.cp != nil {
+			if err := prep.cp.Err(); err != nil {
+				return rows, err
+			}
+		}
+		return rows, nil
+	}
+
+	job := HuntJob{
+		Kind:        "hunt",
+		Axes:        prep.axes,
+		Fingerprint: prep.axes.Fingerprint(),
+		Timeout:     opts.Timeout,
+		HarnessSpec: dopts.HarnessSpec,
+	}
+	spec, err := json.Marshal(job)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+
+	retries := opts.Retries
+	cells := prep.cells
+	co := dispatch.NewCoordinator(spec, prep.pending, dispatch.Options{
+		LeaseTimeout: dopts.LeaseTimeout,
+		MaxLeases:    1 + retries,
+		Token:        dopts.Token,
+		Revive:       dopts.Revive,
+		RetryBackoff: dopts.RetryBackoff,
+		Log:          opts.Log,
+		OnSettled: func(cell int, s dispatch.Settled) {
+			if prep.cp == nil {
+				return
+			}
+			if row, ok := huntDispatchRow(cells[cell], s, retries); ok {
+				prep.cp.Append(row)
+			}
+		},
+	})
+	settled, runErr := co.Run(ctx, ln)
+
+	rows := make([]HuntRow, 0, len(cells))
+	interrupted := false
+	for i := range cells {
+		if row, ok := prep.done[i]; ok {
+			rows = append(rows, row)
+			continue
+		}
+		s, ok := settled[i]
+		if !ok {
+			interrupted = true
+			continue
+		}
+		if row, ok := huntDispatchRow(cells[i], s, retries); ok {
+			rows = append(rows, row)
+		} else {
+			interrupted = true
+		}
+	}
+	if prep.cp != nil {
+		if err := prep.cp.Err(); err != nil {
+			return rows, err
+		}
+	}
+	if runErr != nil {
+		return rows, runErr
+	}
+	if interrupted {
+		return rows, ctx.Err()
+	}
+	return rows, nil
+}
+
+// runLocalHuntDispatch is HuntDispatch with n in-process worker
+// goroutines attached over loopback TCP, each initializing through the
+// same Kind-routing NewJobSession the `metaleak worker` subprocess
+// uses — the tests' model of a mixed fleet.
+func runLocalHuntDispatch(ctx context.Context, axes HuntAxes, opts SweepOptions, dopts DispatchOptions, n int) ([]HuntRow, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	addr := ln.Addr().String()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		w := &dispatch.Worker{
+			ID:        fmt.Sprintf("hunt-local-%d", i),
+			Heartbeat: 50 * time.Millisecond,
+			Init:      NewJobSession,
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := dispatch.Dial(addr)
+			if err != nil {
+				return
+			}
+			w.Run(ctx, conn)
+		}()
+	}
+	rows, err := HuntDispatch(ctx, axes, opts, dopts, ln)
+	wg.Wait()
+	return rows, err
+}
+
+// huntDispatchRow mirrors dispatchRow for hunt cells.
+func huntDispatchRow(c HuntCell, s dispatch.Settled, retries int) (HuntRow, bool) {
+	if s.Err == "" {
+		var row HuntRow
+		if err := json.Unmarshal(s.Payload, &row); err != nil {
+			row = HuntRow{HuntCell: c, Err: fmt.Sprintf("undecodable result payload: %v", err)}
+			if retries > 0 {
+				row.Attempts = s.Attempts
+				row.Quarantined = true
+			}
+			return row, true
+		}
+		return row, true
+	}
+	if strings.Contains(s.Err, "context canceled") && len(s.Errs) == 1 {
+		return HuntRow{}, false
+	}
+	row := HuntRow{HuntCell: c, Err: s.Err}
+	if retries > 0 {
+		row.Attempts = s.Attempts
+		row.Quarantined = true
+	}
+	return row, true
+}

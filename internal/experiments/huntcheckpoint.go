@@ -1,0 +1,269 @@
+package experiments
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"sync"
+
+	"metaleak/internal/dispatch"
+	"metaleak/internal/faults"
+)
+
+// The hunt checkpoint follows the sweep checkpoint's append discipline
+// exactly (see checkpoint.go for the crash-salvage rationale): a JSONL
+// file of one header then completed HuntRow lines, every line written
+// in a single '\n'-terminated Write, torn trailing lines salvaged at
+// open. It has its own format string and fingerprint because a hunt
+// grid and a sweep grid are never interchangeable — resuming one from
+// the other must fail loudly at the header, not at a row.
+
+// huntCheckpointFormat identifies the file layout; bump on changes.
+const huntCheckpointFormat = "metaleak-hunt-checkpoint/v1"
+
+// Fingerprint identifies the hunt grid for checkpoint and dispatch
+// compatibility: a hash of the expanded cell list (with every derived
+// seed, covering the base seed transitively), the program/secret
+// shapes, and the design-point overrides.
+func (a HuntAxes) Fingerprint() string {
+	a = a.normalized()
+	h := sha256.New()
+	fmt.Fprintf(h, "hunt/v1 seed=%d ops=%d secretlen=%d set=%q\n", a.Seed, a.Ops, a.SecretLen, a.Set)
+	for _, c := range a.Cells() {
+		fmt.Fprintf(h, "%d %s %d %d %d %d %d\n",
+			c.Index, c.Config, c.Program, c.Pair, c.ProgSeed, c.PairSeed, c.Seed)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// HuntCheckpoint is the durable record of a hunt in progress.
+type HuntCheckpoint struct {
+	path   string
+	header checkpointHeader
+	cells  []HuntCell
+
+	mu        sync.Mutex
+	rows      map[int]HuntRow
+	f         *os.File
+	appends   int
+	tamper    func(path string, appendN int) bool
+	crashed   bool
+	discarded string
+	err       error
+}
+
+// OpenHuntCheckpoint opens (or starts) the checkpoint for a hunt grid,
+// with the same salvage and refusal semantics as OpenCheckpoint.
+func OpenHuntCheckpoint(path string, axes HuntAxes) (*HuntCheckpoint, error) {
+	axes = axes.normalized()
+	cells := axes.Cells()
+	cp := &HuntCheckpoint{
+		path: path,
+		header: checkpointHeader{
+			Format:      huntCheckpointFormat,
+			Fingerprint: axes.Fingerprint(),
+			Cells:       len(cells),
+		},
+		cells: cells,
+		rows:  map[int]HuntRow{},
+	}
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) || (err == nil && len(data) == 0) {
+		return cp, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		cp.discarded = string(data)
+		if err := os.Truncate(path, 0); err != nil {
+			return nil, fmt.Errorf("checkpoint %s: cutting torn header: %w", path, err)
+		}
+		return cp, nil
+	}
+	var hdr checkpointHeader
+	if err := json.Unmarshal(data[:nl], &hdr); err != nil || hdr.Format != huntCheckpointFormat {
+		return nil, fmt.Errorf("checkpoint %s: not a %s file", path, huntCheckpointFormat)
+	}
+	if hdr.Fingerprint != cp.header.Fingerprint {
+		return nil, fmt.Errorf("checkpoint %s: fingerprint %.12s… does not match this hunt's %.12s… — "+
+			"it was written by different axes (configs, programs, pairs, ops, secret length, seed, or -set overrides); "+
+			"rerun with the original arguments or remove the file", path, hdr.Fingerprint, cp.header.Fingerprint)
+	}
+
+	off := nl + 1
+	rest := data[off:]
+	for line := 2; len(rest) > 0; line++ {
+		idx := bytes.IndexByte(rest, '\n')
+		if idx < 0 {
+			cp.discarded = string(rest)
+			if err := os.Truncate(path, int64(off)); err != nil {
+				return nil, fmt.Errorf("checkpoint %s: cutting torn line: %w", path, err)
+			}
+			break
+		}
+		seg := rest[:idx]
+		off += idx + 1
+		rest = rest[idx+1:]
+		if len(bytes.TrimSpace(seg)) == 0 {
+			continue
+		}
+		var row HuntRow
+		if err := json.Unmarshal(seg, &row); err != nil {
+			return nil, fmt.Errorf("checkpoint %s: line %d: %w", path, line, err)
+		}
+		if row.Index < 0 || row.Index >= len(cells) {
+			return nil, fmt.Errorf("checkpoint %s: line %d: cell index %d outside the %d-cell grid",
+				path, line, row.Index, len(cells))
+		}
+		if row.HuntCell != cells[row.Index] {
+			return nil, fmt.Errorf("checkpoint %s: line %d: cell %d does not match the grid (file %+v, grid %+v)",
+				path, line, row.Index, row.HuntCell, cells[row.Index])
+		}
+		cp.rows[row.Index] = row
+	}
+	return cp, nil
+}
+
+// Discarded returns the torn trailing line salvaged away at open.
+func (c *HuntCheckpoint) Discarded() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.discarded
+}
+
+// SetTamperer installs the fault-injection hook (see
+// Checkpoint.SetTamperer).
+func (c *HuntCheckpoint) SetTamperer(fn func(path string, appendN int) bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tamper = fn
+}
+
+// Completed returns the checkpointed rows that finished without error;
+// failed rows re-run on resume.
+func (c *HuntCheckpoint) Completed() map[int]HuntRow {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[int]HuntRow, len(c.rows))
+	for i, r := range c.rows {
+		if r.Err == "" {
+			out[i] = r
+		}
+	}
+	return out
+}
+
+// Append records a settled row and appends it to the file.
+func (c *HuntCheckpoint) Append(row HuntRow) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil || c.crashed {
+		return
+	}
+	c.rows[row.Index] = row
+	c.err = c.appendLocked(row)
+}
+
+// Err returns the first persistence failure, if any.
+func (c *HuntCheckpoint) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Close releases the append handle.
+func (c *HuntCheckpoint) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil {
+		return nil
+	}
+	err := c.f.Close()
+	c.f = nil
+	return err
+}
+
+func (c *HuntCheckpoint) appendLocked(row HuntRow) error {
+	if c.f == nil {
+		f, err := os.OpenFile(c.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("checkpoint %s: %w", c.path, err)
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("checkpoint %s: %w", c.path, err)
+		}
+		if st.Size() == 0 {
+			hdr, err := json.Marshal(c.header)
+			if err != nil {
+				f.Close()
+				return err
+			}
+			if _, err := f.Write(append(hdr, '\n')); err != nil {
+				f.Close()
+				return fmt.Errorf("checkpoint %s: %w", c.path, err)
+			}
+		}
+		c.f = f
+	}
+	line, err := json.Marshal(row)
+	if err != nil {
+		return err
+	}
+	if _, err := c.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("checkpoint %s: %w", c.path, err)
+	}
+	c.appends++
+	if c.tamper != nil && c.tamper(c.path, c.appends) {
+		c.crashed = true
+		c.f.Close()
+		c.f = nil
+	}
+	return nil
+}
+
+// harnessFromSpec builds a per-process fault harness from a job's
+// harness spec; empty means no planned faults.
+func harnessFromSpec(spec string) (*faults.Harness, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	plan, err := faults.Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	return plan.NewHarness(), nil
+}
+
+// jobKind probes a dispatch job payload for its engine tag. Sweep jobs
+// predate the tag, so "" routes to the sweep engine.
+type jobKind struct {
+	Kind string
+}
+
+// NewJobSession routes a worker-side job payload to the engine that
+// wrote it: "hunt" to the differential fuzzer, "" or "sweep" to the
+// sweep. It is the Init hook `metaleak worker` uses, so one worker
+// binary serves any coordinator.
+func NewJobSession(spec json.RawMessage) (dispatch.Session, error) {
+	var k jobKind
+	if err := json.Unmarshal(spec, &k); err != nil {
+		return dispatch.Session{}, fmt.Errorf("job: %w", err)
+	}
+	switch k.Kind {
+	case "", "sweep":
+		return NewSweepSession(spec)
+	case "hunt":
+		return NewHuntSession(spec)
+	}
+	return dispatch.Session{}, fmt.Errorf("job: unknown kind %q (sweep or hunt)", k.Kind)
+}

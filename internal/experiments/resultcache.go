@@ -49,9 +49,21 @@ type cacheEntry struct {
 // optionally persisted as JSONL. Only clean measurements are cached —
 // a failed cell may have failed transiently, and a later sweep deserves
 // its retry. Safe for concurrent use.
+//
+// With a byte cap (OpenResultCacheCap) the cache garbage-collects
+// itself: once its canonical footprint exceeds the cap, the oldest
+// entries are evicted first — an evicted cell simply recomputes on its
+// next request — and the file is compacted atomically (written to a
+// sibling temp file, then renamed over), so a crash at any point leaves
+// either the old complete file or the new complete file, never a mix.
 type ResultCache struct {
 	mu        sync.Mutex
 	rows      map[string]SweepRow
+	order     []string         // insertion order, oldest first; eviction order
+	sizes     map[string]int64 // canonical per-entry footprint (line + '\n')
+	bytes     int64            // canonical footprint: header + all entry lines
+	maxBytes  int64            // GC threshold; 0 = unbounded
+	evictions int
 	path      string
 	f         *os.File // lazily opened append handle
 	discarded string   // torn trailing line salvaged away at open
@@ -63,9 +75,23 @@ type ResultCache struct {
 // begins an empty cache; an existing one must be well-formed apart from
 // the append discipline's own crash signature — an unterminated
 // trailing line, which is salvaged (cut off, reported via Discarded)
-// instead of failing the open.
+// instead of failing the open. The cache is unbounded; see
+// OpenResultCacheCap for the size-capped variant.
 func OpenResultCache(path string) (*ResultCache, error) {
-	rc := &ResultCache{rows: map[string]SweepRow{}, path: path}
+	return OpenResultCacheCap(path, 0)
+}
+
+// OpenResultCacheCap is OpenResultCache with a garbage-collection cap:
+// whenever the cache's canonical footprint exceeds maxBytes (0 =
+// unbounded), the oldest entries are evicted until it fits and the file
+// is compacted. An inherited over-cap file is trimmed at open.
+func OpenResultCacheCap(path string, maxBytes int64) (*ResultCache, error) {
+	rc := &ResultCache{rows: map[string]SweepRow{}, sizes: map[string]int64{}, path: path, maxBytes: maxBytes}
+	hdrLine, err := json.Marshal(struct{ Format string }{cellCacheFormat})
+	if err != nil {
+		return nil, err
+	}
+	rc.bytes = int64(len(hdrLine)) + 1
 	if path == "" {
 		return rc, nil
 	}
@@ -121,7 +147,30 @@ func OpenResultCache(path string) (*ResultCache, error) {
 		if e.Row.Err != "" {
 			return nil, fmt.Errorf("result cache %s: line %d: cached row carries an error (%q) — only clean measurements belong here", path, line, e.Row.Err)
 		}
-		rc.rows[e.Key] = e.Row // duplicates allowed; last wins
+		canon, err := json.Marshal(e)
+		if err != nil {
+			return nil, err
+		}
+		if old, ok := rc.sizes[e.Key]; ok {
+			// Duplicates allowed, last wins — and the later line is the
+			// younger one, so refresh its age for eviction purposes.
+			rc.bytes -= old
+			for i, k := range rc.order {
+				if k == e.Key {
+					rc.order = append(rc.order[:i], rc.order[i+1:]...)
+					break
+				}
+			}
+		}
+		rc.rows[e.Key] = e.Row
+		rc.sizes[e.Key] = int64(len(canon)) + 1
+		rc.bytes += rc.sizes[e.Key]
+		rc.order = append(rc.order, e.Key)
+	}
+	// An inherited file over the cap trims immediately, so a restarted
+	// service with a lowered cap converges without waiting for traffic.
+	if err := rc.gcLocked(); err != nil {
+		return nil, err
 	}
 	return rc, nil
 }
@@ -140,6 +189,8 @@ func (rc *ResultCache) Get(key string) (SweepRow, bool) {
 // Put records one completed cell. Rows carrying an error are ignored
 // (a failure may be transient; never serve it from cache), as are keys
 // already present (re-running a cached grid must not grow the file).
+// Under a byte cap, an insert that pushes the footprint over it evicts
+// the oldest entries and compacts the file.
 func (rc *ResultCache) Put(key string, row SweepRow) {
 	if row.Err != "" {
 		return
@@ -150,11 +201,24 @@ func (rc *ResultCache) Put(key string, row SweepRow) {
 	if _, ok := rc.rows[key]; ok {
 		return
 	}
-	rc.rows[key] = row
-	if rc.path == "" || rc.err != nil {
+	e := cacheEntry{Key: key, Row: row}
+	line, err := json.Marshal(e)
+	if err != nil {
+		if rc.err == nil {
+			rc.err = err
+		}
 		return
 	}
-	rc.err = rc.appendLocked(cacheEntry{Key: key, Row: row})
+	rc.rows[key] = row
+	rc.sizes[key] = int64(len(line)) + 1
+	rc.bytes += rc.sizes[key]
+	rc.order = append(rc.order, key)
+	if rc.path != "" && rc.err == nil {
+		rc.err = rc.appendLocked(e)
+	}
+	if err := rc.gcLocked(); err != nil && rc.err == nil {
+		rc.err = err
+	}
 }
 
 // Len returns the number of cached cells.
@@ -162,6 +226,82 @@ func (rc *ResultCache) Len() int {
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
 	return len(rc.rows)
+}
+
+// Bytes returns the cache's canonical footprint: the file size a
+// freshly compacted cache would occupy (header plus one line per
+// entry). An append-only file with superseded duplicates can be
+// larger until the next GC compaction rewrites it.
+func (rc *ResultCache) Bytes() int64 {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.bytes
+}
+
+// Evictions returns how many entries the byte-cap GC has dropped.
+func (rc *ResultCache) Evictions() int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.evictions
+}
+
+// gcLocked evicts oldest-first until the footprint fits the cap, then
+// compacts the file. The newest entry always survives, even if it
+// alone exceeds the cap — evicting it would make the cache useless at
+// any cap smaller than one row.
+func (rc *ResultCache) gcLocked() error {
+	if rc.maxBytes <= 0 || rc.bytes <= rc.maxBytes {
+		return nil
+	}
+	for len(rc.order) > 1 && rc.bytes > rc.maxBytes {
+		key := rc.order[0]
+		rc.order = rc.order[1:]
+		rc.bytes -= rc.sizes[key]
+		delete(rc.rows, key)
+		delete(rc.sizes, key)
+		rc.evictions++
+	}
+	if rc.path == "" || rc.err != nil {
+		return nil // memory-only, or persistence already failed
+	}
+	return rc.compactLocked()
+}
+
+// compactLocked rewrites the file to exactly the surviving entries —
+// header plus one line per entry in age order — via a sibling temp file
+// renamed over the original. The rename is atomic, so a crash at any
+// point leaves either the old complete file or the new complete file;
+// either opens cleanly, the torn-line salvage never has to run on a
+// compaction.
+func (rc *ResultCache) compactLocked() error {
+	var buf bytes.Buffer
+	hdr, err := json.Marshal(struct{ Format string }{cellCacheFormat})
+	if err != nil {
+		return err
+	}
+	buf.Write(hdr)
+	buf.WriteByte('\n')
+	for _, key := range rc.order {
+		line, err := json.Marshal(cacheEntry{Key: key, Row: rc.rows[key]})
+		if err != nil {
+			return err
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	tmp := rc.path + ".gc"
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("result cache %s: compacting: %w", rc.path, err)
+	}
+	if rc.f != nil {
+		rc.f.Close()
+		rc.f = nil // next append reopens the compacted file
+	}
+	if err := os.Rename(tmp, rc.path); err != nil {
+		return fmt.Errorf("result cache %s: compacting: %w", rc.path, err)
+	}
+	rc.bytes = int64(buf.Len())
+	return nil
 }
 
 // Discarded returns the torn trailing line OpenResultCache salvaged

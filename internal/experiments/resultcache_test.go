@@ -217,6 +217,149 @@ func TestChaosServeInvariants(t *testing.T) {
 	}
 }
 
+// TestResultCacheEviction: the byte-cap GC evicts oldest-first, keeps
+// the footprint under the cap, compacts the file atomically (no .gc
+// temp left behind, appends keep working afterwards), trims an
+// inherited over-cap file at open, and never evicts the newest entry.
+func TestResultCacheEviction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.jsonl")
+	unbounded, err := OpenResultCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 6)
+	for i := range keys {
+		row := sampleRow(i, i)
+		keys[i] = CellFingerprint(row.SweepCell, 8, nil)
+		unbounded.Put(keys[i], row)
+	}
+	if unbounded.Evictions() != 0 {
+		t.Fatalf("unbounded cache evicted %d entries", unbounded.Evictions())
+	}
+	fullBytes := unbounded.Bytes()
+	perEntry := (fullBytes - int64(len(`{"Format":"`+cellCacheFormat+`"}`)) - 1) / int64(len(keys))
+	unbounded.Close()
+
+	// Reopen with a cap that fits roughly half the entries: the oldest
+	// half evicts at open (inherited over-cap file), newest survive.
+	cap3 := fullBytes - 3*perEntry
+	rc, err := OpenResultCacheCap(path, cap3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.Bytes() > cap3 {
+		t.Errorf("footprint %d over the %d cap after open", rc.Bytes(), cap3)
+	}
+	if rc.Evictions() == 0 || rc.Len() >= len(keys) {
+		t.Fatalf("inherited over-cap file not trimmed: %d entries, %d evictions", rc.Len(), rc.Evictions())
+	}
+	if _, ok := rc.Get(keys[0]); ok {
+		t.Error("oldest entry survived the trim")
+	}
+	if _, ok := rc.Get(keys[len(keys)-1]); !ok {
+		t.Error("newest entry evicted")
+	}
+	if _, err := os.Stat(path + ".gc"); !os.IsNotExist(err) {
+		t.Errorf("compaction temp file left behind: %v", err)
+	}
+
+	// The compacted file must itself be a well-formed cache holding
+	// exactly the survivors.
+	survivors := rc.Len()
+	reload, err := OpenResultCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reload.Len() != survivors || reload.Discarded() != "" {
+		t.Fatalf("compacted file reloads %d entries (discarded %q), want %d",
+			reload.Len(), reload.Discarded(), survivors)
+	}
+	reload.Close()
+
+	// Appends keep working after a compaction closed and renamed the
+	// file out from under the append handle.
+	extra := sampleRow(7, 7)
+	ek := CellFingerprint(extra.SweepCell, 8, nil)
+	rc.Put(ek, extra)
+	if err := rc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rc.Get(ek); !ok {
+		t.Fatal("post-compaction put missing")
+	}
+	if rc.Bytes() > cap3 {
+		t.Errorf("footprint %d over the %d cap after post-compaction put", rc.Bytes(), cap3)
+	}
+	rc.Close()
+
+	// A cap smaller than any single row still keeps the newest entry:
+	// an empty cache would make every cap smaller than one row useless.
+	tiny, err := OpenResultCacheCap(filepath.Join(t.TempDir(), "tiny.jsonl"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tiny.Close()
+	for i := 0; i < 3; i++ {
+		row := sampleRow(i, i)
+		tiny.Put(CellFingerprint(row.SweepCell, 8, nil), row)
+		if tiny.Len() != 1 {
+			t.Fatalf("tiny cache holds %d entries after put %d, want exactly the newest", tiny.Len(), i)
+		}
+	}
+	last := sampleRow(2, 2)
+	if _, ok := tiny.Get(CellFingerprint(last.SweepCell, 8, nil)); !ok {
+		t.Error("tiny cache lost the newest entry")
+	}
+	if err := tiny.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResultCacheEvictionSalvage: the cap and the torn-tail salvage
+// compose — a crash mid-append on an over-cap file still opens, cuts
+// the tear, then trims.
+func TestResultCacheEvictionSalvage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.jsonl")
+	rc, err := OpenResultCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 4)
+	for i := range keys {
+		row := sampleRow(i, i)
+		keys[i] = CellFingerprint(row.SweepCell, 8, nil)
+		rc.Put(keys[i], row)
+	}
+	full := rc.Bytes()
+	rc.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-9], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	torn, err := OpenResultCacheCap(path, full/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer torn.Close()
+	if torn.Discarded() == "" {
+		t.Error("tear not reported")
+	}
+	if torn.Bytes() > full/2 {
+		t.Errorf("footprint %d over the %d cap", torn.Bytes(), full/2)
+	}
+	// keys[3] died in the tear; of the survivors the newest is keys[2].
+	if _, ok := torn.Get(keys[2]); !ok {
+		t.Error("newest complete entry lost")
+	}
+	if _, ok := torn.Get(keys[0]); ok {
+		t.Error("oldest entry survived an over-cap open")
+	}
+}
+
 func mustSize(t *testing.T, path string) int64 {
 	t.Helper()
 	st, err := os.Stat(path)

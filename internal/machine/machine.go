@@ -100,6 +100,15 @@ type DesignPoint struct {
 	// sweeps only.
 	FastCrypto bool
 
+	// Contract overrides the design point's derived leakage contract
+	// (internal/contract grammar, DESIGN.md §13): what an attacker at
+	// the memory controller may observe, which of it the design admits
+	// leaking, and which channels its attack model requires to be live.
+	// Empty derives the default contract for the design; "none" declares
+	// a design that admits no leakage at all (every divergence is a
+	// violation). Settable per sweep/hunt cell via `-set Contract=...`.
+	Contract string
+
 	// FaultSpec attaches a machine-level fault plan (internal/faults
 	// grammar, machine: entries only): planned corruptions of off-chip
 	// metadata that the controller's verification must catch. The plan

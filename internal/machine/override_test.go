@@ -61,6 +61,84 @@ func TestOverrideTypedErrors(t *testing.T) {
 	}
 }
 
+// TestOverrideErrorPathTable sweeps every reachable Apply failure:
+// unknown fields, the unsupported nested-struct kind, and unparseable
+// values for each settable kind. Every failure must surface as a
+// *FieldError naming the field, with the sentinel (or strconv error)
+// visible to errors.Is through it.
+func TestOverrideErrorPathTable(t *testing.T) {
+	cases := []struct {
+		name string
+		spec string
+		want error // sentinel expected via errors.Is; nil = any error
+	}{
+		{"unknown field", "NoSuchField=1", ErrUnknownField},
+		{"unknown field case-sensitive", "minorbits=6", ErrUnknownField},
+		{"nested struct unsupported", "DRAM=x", ErrUnsupportedField},
+		{"uint from word", "MinorBits=seven", nil},
+		{"uint from negative", "MinorBits=-1", nil},
+		{"uint64 from float", "Seed=1.5", nil},
+		{"int from float", "Cores=1.5", nil},
+		{"bool from word", "FastCrypto=maybe", nil},
+		{"int slice bad element", "TreeArities=8,x,8", nil},
+		{"int slice empty element", "TreeArities=8,,8", nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ov, err := ParseOverride(tc.spec)
+			if err != nil {
+				t.Fatalf("ParseOverride(%q): %v", tc.spec, err)
+			}
+			dp := ConfigSCT()
+			before := dp
+			err = ov.Apply(&dp)
+			if err == nil {
+				t.Fatalf("Apply(%q) succeeded", tc.spec)
+			}
+			if tc.want != nil && !errors.Is(err, tc.want) {
+				t.Errorf("Apply(%q) = %v, want errors.Is(%v)", tc.spec, err, tc.want)
+			}
+			var fe *FieldError
+			if !errors.As(err, &fe) || fe.Field != ov.Field {
+				t.Errorf("Apply(%q): error %v does not name field %q", tc.spec, err, ov.Field)
+			}
+			if !reflect.DeepEqual(dp, before) {
+				t.Errorf("Apply(%q) failed but mutated the design point", tc.spec)
+			}
+		})
+	}
+}
+
+// TestOverrideAxisRemapEquivalence pins the contract the sweep CLI's
+// -set remapping relies on: for a field the grid owns as an axis,
+// applying the override to a design point is exactly what building the
+// design point from the axis value produces — so `-set MinorBits=6`
+// and `-minor 6` cannot drift apart at the machine layer.
+func TestOverrideAxisRemapEquivalence(t *testing.T) {
+	for _, spec := range []string{"MinorBits=6", "MetaKB=64", "NoiseInterval=8000"} {
+		ov, err := ParseOverride(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaOverride := ConfigSCT()
+		if err := ov.Apply(&viaOverride); err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		direct := ConfigSCT()
+		switch ov.Field {
+		case "MinorBits":
+			direct.MinorBits = 6
+		case "MetaKB":
+			direct.MetaKB = 64
+		case "NoiseInterval":
+			direct.NoiseInterval = 8000
+		}
+		if !reflect.DeepEqual(viaOverride, direct) {
+			t.Errorf("%s: override result diverges from direct field set:\n%+v\n%+v", spec, viaOverride, direct)
+		}
+	}
+}
+
 func TestParseOverride(t *testing.T) {
 	if _, err := ParseOverride("MinorBits"); err == nil {
 		t.Fatal("missing '=' accepted")

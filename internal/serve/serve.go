@@ -58,6 +58,10 @@ type Config struct {
 	// StateDir holds the service's durable state: the cell cache at
 	// cellcache.jsonl and per-sweep checkpoints under sweeps/.
 	StateDir string
+	// CacheMaxBytes caps the cell cache's footprint: past it, the
+	// oldest entries are evicted (they recompute on next use) and the
+	// file compacts. 0 leaves the cache unbounded.
+	CacheMaxBytes int64
 	// WorkerAddr is the TCP address the per-sweep worker listener binds;
 	// empty selects loopback with an ephemeral port. The active sweep's
 	// resolved address is published in /v1/status for external workers.
@@ -147,9 +151,12 @@ func New(cfg Config) (*Server, error) {
 	if err := os.MkdirAll(filepath.Join(cfg.StateDir, "sweeps"), 0o755); err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
-	cache, err := experiments.OpenResultCache(filepath.Join(cfg.StateDir, "cellcache.jsonl"))
+	cache, err := experiments.OpenResultCacheCap(filepath.Join(cfg.StateDir, "cellcache.jsonl"), cfg.CacheMaxBytes)
 	if err != nil {
 		return nil, err
+	}
+	if n := cache.Evictions(); n > 0 && cfg.Log != nil {
+		cfg.Log("serve: cell cache: over the %d-byte cap at open, evicted the %d oldest entries", cfg.CacheMaxBytes, n)
 	}
 	if torn := cache.Discarded(); torn != "" && cfg.Log != nil {
 		cfg.Log("serve: cell cache: salvaged a torn trailing line (%d bytes discarded)", len(torn))

@@ -180,6 +180,14 @@ func (s *System) FlushReport(core int, b arch.BlockID) (secmem.Report, bool) {
 	if dirty || s.dirty[b] {
 		rep = s.writeback(b)
 		wrote = true
+		// An explicit flush that reaches memory is exactly what a
+		// memory-bus observer sees (the §III write-through victim
+		// model), so it joins the trace stream like a demand miss. This
+		// is where write-path metadata effects — counter overflow above
+		// all — become trace-visible; demand accesses only ever read
+		// from the controller.
+		s.accessSeq++
+		s.emitTrace(core, b, true, AccessResult{Latency: rep.Latency, Report: rep})
 	}
 	s.now += 10 // clflush-like cost
 	return rep, wrote

@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"strings"
+
+	"metaleak/internal/sim"
+)
+
+// The diff comparator is the forensic half of differential leakage
+// hunting (DESIGN.md §13): given two traces of the same program run
+// under two secrets on the same machine seed, any field-level
+// difference is secret-dependent behaviour. This comparator reports
+// *raw* divergence — every TraceEvent field, including the virtual
+// block address, which a real attacker cannot see. The observation-
+// projected diff an attacker's vantage justifies lives in
+// internal/contract; this one answers "where exactly did the two
+// executions first part ways", which is what you want when root-causing
+// a divergence the contract layer flagged.
+
+// DiffField is a bitmask naming the TraceEvent fields (plus the trace
+// length) on which two traces differ.
+type DiffField uint16
+
+// Field bits, in TraceEvent declaration order; DiffLen marks a length
+// mismatch (one trace has events the other does not).
+const (
+	DiffSeq DiffField = 1 << iota
+	DiffNow
+	DiffCore
+	DiffBlock
+	DiffWrite
+	DiffLatency
+	DiffPath
+	DiffTreeLevels
+	DiffOverflow
+	DiffLen
+)
+
+var diffFieldNames = []struct {
+	f    DiffField
+	name string
+}{
+	{DiffSeq, "seq"},
+	{DiffNow, "now"},
+	{DiffCore, "core"},
+	{DiffBlock, "block"},
+	{DiffWrite, "write"},
+	{DiffLatency, "latency"},
+	{DiffPath, "path"},
+	{DiffTreeLevels, "tree"},
+	{DiffOverflow, "overflow"},
+	{DiffLen, "len"},
+}
+
+// String renders the set bits joined by '+' ("now+block+latency"), or
+// "none" for the empty mask.
+func (f DiffField) String() string {
+	var parts []string
+	for _, e := range diffFieldNames {
+		if f&e.f != 0 {
+			parts = append(parts, e.name)
+		}
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, "+")
+}
+
+// Divergence summarizes how two traces differ. The zero value (First
+// -1 aside) means "identical".
+type Divergence struct {
+	LenA, LenB int
+	// First is the index of the first differing position: an index into
+	// the common prefix when a field differs there, the common-prefix
+	// length when only the lengths differ, and -1 when the traces are
+	// identical.
+	First int
+	// FirstFields is the field set differing at First (DiffLen for a
+	// pure length divergence).
+	FirstFields DiffField
+	// Fields is the union of differing fields over all compared
+	// positions, including DiffLen on a length mismatch.
+	Fields DiffField
+	// Count is the number of positions in the common prefix with at
+	// least one differing field.
+	Count int
+}
+
+// Diverged reports whether the traces differ at all.
+func (d Divergence) Diverged() bool { return d.Fields != 0 }
+
+// fieldDiff compares two events field by field.
+func fieldDiff(a, b sim.TraceEvent) DiffField {
+	var f DiffField
+	if a.Seq != b.Seq {
+		f |= DiffSeq
+	}
+	if a.Now != b.Now {
+		f |= DiffNow
+	}
+	if a.Core != b.Core {
+		f |= DiffCore
+	}
+	if a.Block != b.Block {
+		f |= DiffBlock
+	}
+	if a.Write != b.Write {
+		f |= DiffWrite
+	}
+	if a.Latency != b.Latency {
+		f |= DiffLatency
+	}
+	if a.Path != b.Path {
+		f |= DiffPath
+	}
+	if a.TreeLevels != b.TreeLevels {
+		f |= DiffTreeLevels
+	}
+	if a.Overflow != b.Overflow {
+		f |= DiffOverflow
+	}
+	return f
+}
+
+// Diff compares two traces position by position over their common
+// prefix and reports where and how they diverge. It is symmetric up to
+// the LenA/LenB labels: Diff(b, a) swaps those and nothing else.
+func Diff(a, b []sim.TraceEvent) Divergence {
+	d := Divergence{LenA: len(a), LenB: len(b), First: -1}
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		f := fieldDiff(a[i], b[i])
+		if f == 0 {
+			continue
+		}
+		if d.First < 0 {
+			d.First = i
+			d.FirstFields = f
+		}
+		d.Fields |= f
+		d.Count++
+	}
+	if len(a) != len(b) {
+		d.Fields |= DiffLen
+		if d.First < 0 {
+			d.First = n
+			d.FirstFields = DiffLen
+		}
+	}
+	return d
+}

@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"testing"
+
+	"metaleak/internal/sim"
+)
+
+func TestDiffIdentical(t *testing.T) {
+	evs := sampleEvents(40)
+	d := Diff(evs, evs)
+	if d.Diverged() || d.First != -1 || d.Fields != 0 || d.Count != 0 {
+		t.Fatalf("identical traces diverged: %+v", d)
+	}
+	if d.LenA != 40 || d.LenB != 40 {
+		t.Fatalf("lengths: %+v", d)
+	}
+}
+
+func TestDiffFirstAndFields(t *testing.T) {
+	a := sampleEvents(10)
+	b := sampleEvents(10)
+	b[3].Latency += 100
+	b[3].Path++
+	b[7].Overflow = !b[7].Overflow
+	d := Diff(a, b)
+	if !d.Diverged() {
+		t.Fatal("divergence missed")
+	}
+	if d.First != 3 || d.FirstFields != DiffLatency|DiffPath {
+		t.Fatalf("first divergence: %+v (fields %s)", d, d.FirstFields)
+	}
+	if d.Fields != DiffLatency|DiffPath|DiffOverflow {
+		t.Fatalf("field union: %s", d.Fields)
+	}
+	if d.Count != 2 {
+		t.Fatalf("count: %d", d.Count)
+	}
+}
+
+func TestDiffLengthOnly(t *testing.T) {
+	a := sampleEvents(10)
+	d := Diff(a, a[:6])
+	if !d.Diverged() || d.Fields != DiffLen || d.First != 6 || d.FirstFields != DiffLen {
+		t.Fatalf("truncated trace: %+v (fields %s)", d, d.Fields)
+	}
+	if d.Count != 0 {
+		t.Fatalf("count over common prefix: %d", d.Count)
+	}
+}
+
+func TestDiffEmpty(t *testing.T) {
+	if d := Diff(nil, nil); d.Diverged() || d.First != -1 {
+		t.Fatalf("empty vs empty: %+v", d)
+	}
+	if d := Diff(sampleEvents(1), nil); !d.Diverged() || d.Fields != DiffLen || d.First != 0 {
+		t.Fatalf("one vs empty: %+v", d)
+	}
+}
+
+func TestDiffFieldString(t *testing.T) {
+	if s := (DiffLatency | DiffBlock).String(); s != "block+latency" {
+		t.Fatalf("mask render: %q", s)
+	}
+	if s := DiffField(0).String(); s != "none" {
+		t.Fatalf("empty mask render: %q", s)
+	}
+}
+
+// interleaveEvents merges two traces by alternating events — the
+// attacker/victim co-schedule shape, and a seed pattern that makes
+// every field diverge early.
+func interleaveEvents(a, b []sim.TraceEvent) []sim.TraceEvent {
+	var out []sim.TraceEvent
+	for i := 0; i < len(a) || i < len(b); i++ {
+		if i < len(a) {
+			out = append(out, a[i])
+		}
+		if i < len(b) {
+			out = append(out, b[i])
+		}
+	}
+	return out
+}
+
+// FuzzTraceDiff drives the comparator with arbitrary decoded trace
+// pairs and checks its algebra: reflexivity (a trace never diverges
+// from itself), symmetry up to the length labels, and bounds on the
+// reported indices and counts.
+func FuzzTraceDiff(f *testing.F) {
+	long := sampleEvents(50)
+	short := sampleEvents(12)
+	shifted := sampleEvents(50)
+	for i := range shifted {
+		shifted[i].Latency += 64
+		shifted[i].Now += 640
+	}
+	enc := EncodeEvents
+	// Seeds: identical pair, disjoint pair, truncated pair (same prefix,
+	// different length), interleaved traces, and raw junk.
+	f.Add(enc(long), enc(long))
+	f.Add(enc(long), enc(short))
+	f.Add(enc(long), enc(long[:20]))
+	f.Add(enc(long), enc(shifted))
+	f.Add(enc(interleaveEvents(long, shifted)), enc(long))
+	f.Add(enc(interleaveEvents(short, long)), enc(interleaveEvents(long, short)))
+	f.Add(enc(long)[:10], enc(long))
+	f.Add([]byte("junk"), enc(nil))
+
+	f.Fuzz(func(t *testing.T, da, db []byte) {
+		a, errA := DecodeEvents(da)
+		b, errB := DecodeEvents(db)
+		if errA != nil || errB != nil {
+			return // undecodable inputs are the codec fuzzer's concern
+		}
+		if d := Diff(a, a); d.Diverged() || d.First != -1 || d.Count != 0 {
+			t.Fatalf("self-diff diverged: %+v", d)
+		}
+		d := Diff(a, b)
+		r := Diff(b, a)
+		if d.Fields != r.Fields || d.First != r.First || d.FirstFields != r.FirstFields ||
+			d.Count != r.Count || d.LenA != r.LenB || d.LenB != r.LenA {
+			t.Fatalf("asymmetric diff: %+v vs %+v", d, r)
+		}
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		if d.Count < 0 || d.Count > n {
+			t.Fatalf("count %d outside common prefix %d", d.Count, n)
+		}
+		switch {
+		case d.First == -1:
+			if d.Diverged() || len(a) != len(b) {
+				t.Fatalf("no first index but diverged: %+v", d)
+			}
+		case d.First < 0 || d.First > n:
+			t.Fatalf("first index %d outside [0,%d]", d.First, n)
+		case d.FirstFields == 0 || d.FirstFields&^d.Fields != 0:
+			t.Fatalf("first fields %s not within union %s", d.FirstFields, d.Fields)
+		}
+		if d.Diverged() != (len(a) != len(b) || d.Count > 0) {
+			t.Fatalf("Diverged() inconsistent: %+v", d)
+		}
+	})
+}
